@@ -1,0 +1,128 @@
+// bench_micro — google-benchmark microbenchmarks for the algorithmic
+// building blocks: trigger search throughput (the 14-support-set sweep the
+// paper calls "practical" thanks to the LUT4 restriction), Quine–McCluskey
+// covering, marked-graph verification, PL mapping, and event-simulation
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/itc99.hpp"
+#include "bool/cube_list.hpp"
+#include "ee/ee_transform.hpp"
+#include "ee/trigger_cache.hpp"
+#include "ee/trigger_search.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "sim/measure.hpp"
+
+using namespace plee;
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+    return x * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+void bm_trigger_search_lut4(benchmark::State& state) {
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        seed = mix(seed);
+        const bf::truth_table master(4, seed & 0xffff);
+        if (master.support_size() < 2) continue;
+        benchmark::DoNotOptimize(ee::find_best_trigger(master, {0, 1, 2, 3}));
+    }
+}
+BENCHMARK(bm_trigger_search_lut4);
+
+void bm_trigger_search_lut4_cached(benchmark::State& state) {
+    // Netlists reuse functions heavily; model that with a small rotating set.
+    std::vector<bf::truth_table> masters;
+    std::uint64_t seed = 1;
+    while (masters.size() < 32) {
+        seed = mix(seed);
+        const bf::truth_table f(4, seed & 0xffff);
+        if (f.support_size() >= 2) masters.push_back(f);
+    }
+    ee::trigger_cache cache;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ee::find_best_trigger(masters[i++ % masters.size()], {0, 1, 2, 3},
+                                  {}, &cache));
+    }
+    state.counters["hit%"] = cache.hits() + cache.misses() == 0
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(cache.hits()) /
+                                       static_cast<double>(cache.hits() + cache.misses());
+}
+BENCHMARK(bm_trigger_search_lut4_cached);
+
+void bm_trigger_search_cube_list(benchmark::State& state) {
+    std::uint64_t seed = 1;
+    ee::search_options opts;
+    opts.method = ee::trigger_method::cube_list;
+    for (auto _ : state) {
+        seed = mix(seed);
+        const bf::truth_table master(4, seed & 0xffff);
+        if (master.support_size() < 2) continue;
+        benchmark::DoNotOptimize(ee::find_best_trigger(master, {0, 1, 2, 3}, opts));
+    }
+}
+BENCHMARK(bm_trigger_search_cube_list);
+
+void bm_isop_cover(benchmark::State& state) {
+    std::uint64_t seed = 7;
+    for (auto _ : state) {
+        seed = mix(seed);
+        const bf::truth_table f(static_cast<int>(state.range(0)),
+                                seed & ((1ull << (1 << state.range(0))) - 1));
+        benchmark::DoNotOptimize(bf::isop_cover(f));
+    }
+}
+BENCHMARK(bm_isop_cover)->Arg(4)->Arg(5);
+
+void bm_map_to_pl(benchmark::State& state) {
+    const nl::netlist n = bench::build_benchmark("b05");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pl::map_to_phased_logic(n));
+    }
+}
+BENCHMARK(bm_map_to_pl);
+
+void bm_marked_graph_verify(benchmark::State& state) {
+    const nl::netlist n = bench::build_benchmark("b05");
+    const pl::map_result mapped = pl::map_to_phased_logic(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapped.pl.verify());
+    }
+}
+BENCHMARK(bm_marked_graph_verify);
+
+void bm_apply_ee(benchmark::State& state) {
+    const nl::netlist n = bench::build_benchmark("b05");
+    for (auto _ : state) {
+        state.PauseTiming();
+        pl::map_result mapped = pl::map_to_phased_logic(n);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(ee::apply_early_evaluation(mapped.pl));
+    }
+}
+BENCHMARK(bm_apply_ee);
+
+void bm_event_sim_b07(benchmark::State& state) {
+    const nl::netlist n = bench::build_benchmark("b07");
+    const pl::map_result mapped = pl::map_to_phased_logic(n);
+    const auto vectors = sim::random_vectors(20, mapped.pl.sources().size(), 3);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::pl_simulator simulator(mapped.pl);
+        benchmark::DoNotOptimize(simulator.run(vectors));
+        events += simulator.stats().events;
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_event_sim_b07);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// bench_pipeline_throughput — extension: Early Evaluation under token
+// streaming.
+//
+// Table 3 uses the paper's vector-at-a-time protocol ("new values cannot be
+// presented to the inputs until a stable output is generated").  PL circuits
+// also run *pipelined*, with the environment injecting tokens as fast as the
+// acknowledge feedbacks allow — the self-timed iterative-ring operation of
+// the related work ([9], [12]).  This bench measures both protocols on the
+// arithmetic benchmarks.  Pipelined throughput is set by the slowest token
+// loop (register -> logic -> register); Early Evaluation shortens the
+// forward path inside those loops, so the loop period shrinks and the
+// throughput gain can even exceed the vector-at-a-time latency gain.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_circuits/itc99.hpp"
+#include "ee/ee_transform.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "report/table.hpp"
+#include "sim/measure.hpp"
+
+using namespace plee;
+
+namespace {
+
+struct mode_result {
+    double latency = 0.0;     ///< avg per-wave delay (non-pipelined)
+    double throughput = 0.0;  ///< waves per microsecond (pipelined)
+};
+
+mode_result run_modes(const pl::pl_netlist& pl, std::size_t vectors,
+                      std::uint64_t seed) {
+    mode_result r;
+    const auto stimulus = sim::random_vectors(vectors, pl.sources().size(), seed);
+    {
+        sim::sim_options opts;
+        opts.non_pipelined = true;
+        sim::pl_simulator simulator(pl, opts);
+        const auto waves = simulator.run(stimulus);
+        double sum = 0;
+        for (const auto& w : waves) sum += w.delay();
+        r.latency = sum / static_cast<double>(waves.size());
+    }
+    {
+        sim::sim_options opts;
+        opts.non_pipelined = false;
+        sim::pl_simulator simulator(pl, opts);
+        const auto waves = simulator.run(stimulus);
+        const double makespan = waves.back().output_stable;
+        r.throughput = makespan > 0 ? 1000.0 * static_cast<double>(waves.size()) /
+                                          makespan
+                                    : 0.0;
+    }
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    std::size_t vectors = 100;
+    if (const char* env = std::getenv("PLEE_VECTORS")) {
+        vectors = static_cast<std::size_t>(std::atoi(env));
+    }
+
+    std::printf("Vector-at-a-time latency vs pipelined throughput "
+                "(%zu vectors)\n\n", vectors);
+    report::text_table t({"Circuit", "Latency (ns)", "Latency EE (ns)",
+                          "Latency gain", "Thru (waves/us)", "Thru EE",
+                          "Thru gain"});
+
+    for (const char* id : {"b05", "b11", "b14"}) {
+        const nl::netlist n = bench::build_benchmark(id);
+        pl::map_result base = pl::map_to_phased_logic(n);
+        pl::map_result eed = pl::map_to_phased_logic(n);
+        ee::apply_early_evaluation(eed.pl);
+
+        const mode_result mb = run_modes(base.pl, vectors, 77);
+        const mode_result me = run_modes(eed.pl, vectors, 77);
+
+        t.add_row({id, report::fmt(mb.latency, 1), report::fmt(me.latency, 1),
+                   report::fmt_pct(100.0 * (mb.latency - me.latency) / mb.latency, 0),
+                   report::fmt(mb.throughput, 1), report::fmt(me.throughput, 1),
+                   report::fmt_pct(100.0 * (me.throughput - mb.throughput) /
+                                       mb.throughput, 0)});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf("Expected shape: both protocols gain; the deeper the logic\n"
+                "inside the register-to-register token loops, the more the\n"
+                "pipelined loop period shrinks — on the CPU subset the\n"
+                "throughput gain exceeds the latency gain.\n");
+    return 0;
+}

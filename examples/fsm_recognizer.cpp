@@ -1,0 +1,68 @@
+// fsm_recognizer — a control-dominated circuit through the whole flow.
+//
+// Takes the b02 BCD recognizer (an FSM fed one bit per wave), maps it to
+// Phased Logic and streams two nibbles through the self-timed circuit,
+// printing the token values wave by wave next to the synchronous golden
+// model.  Also reports what Early Evaluation can and cannot do for a small
+// FSM — the paper's Table 3 shows b02 gaining nothing, and this example
+// shows why (no arrival skew to exploit).
+
+#include <cstdio>
+
+#include "bench_circuits/itc99.hpp"
+#include "ee/ee_transform.hpp"
+#include "netlist/sync_sim.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "sim/pl_sim.hpp"
+
+using namespace plee;
+
+int main() {
+    const nl::netlist netlist = bench::make_b02();
+    std::printf("b02 'FSM that recognizes BCD numbers': %zu LUTs, %zu DFFs\n",
+                netlist.num_luts(), netlist.dffs().size());
+
+    pl::map_result mapped = pl::map_to_phased_logic(netlist);
+    std::printf("PL mapping: %zu PL gates, %zu ack edges, %zu saved by "
+                "feedback sharing\n",
+                mapped.pl.num_pl_gates(), mapped.pl.num_ack_edges(),
+                mapped.stats.acks_saved_by_natural_cycles +
+                    mapped.stats.acks_saved_by_sharing);
+
+    // Stream the nibbles 9 (1001, a BCD digit) and 12 (1100, not BCD),
+    // MSB first, through the self-timed circuit.
+    std::vector<std::vector<bool>> stream;
+    for (unsigned nibble : {9u, 12u}) {
+        for (int pos = 3; pos >= 0; --pos) {
+            stream.push_back({((nibble >> pos) & 1u) != 0});
+        }
+    }
+
+    sim::pl_simulator simulator(mapped.pl);
+    const auto waves = simulator.run(stream);
+    nl::sync_simulator gold(netlist);
+
+    std::printf("\nwave | bit | valid last_bit | golden | input->output delay\n");
+    for (std::size_t w = 0; w < waves.size(); ++w) {
+        const auto expected = gold.cycle(stream[w]);
+        std::printf("  %2zu |  %d  |   %d      %d     |  %d %d   | %.2f ns%s\n", w,
+                    static_cast<int>(stream[w][0]),
+                    static_cast<int>(waves[w].outputs[0]),
+                    static_cast<int>(waves[w].outputs[1]),
+                    static_cast<int>(expected[0]), static_cast<int>(expected[1]),
+                    waves[w].delay(),
+                    waves[w].outputs == expected ? "" : "  << MISMATCH");
+    }
+    std::printf("\nwave 3 asserts `valid` while the last bit of 1001 (=9)\n"
+                "streams in; wave 7 stays low for 1100 (=12).\n");
+
+    // Early Evaluation on a flat FSM: nothing to gain.
+    pl::map_result ee_mapped = pl::map_to_phased_logic(netlist);
+    const ee::ee_stats stats = ee::apply_early_evaluation(ee_mapped.pl);
+    std::printf("\nEE pass on b02: %zu of %zu masters got a trigger — with a\n"
+                "single serial input every signal arrives together, so no\n"
+                "support subset is faster (Tmax < Mmax fails), matching the\n"
+                "paper's 0-EE-gate row for this benchmark class.\n",
+                stats.triggers_added, stats.masters_considered);
+    return 0;
+}

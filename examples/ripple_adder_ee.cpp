@@ -1,0 +1,95 @@
+// ripple_adder_ee — a close look at Early Evaluation on the carry chain.
+//
+// Builds an 8-bit ripple-carry adder, prints the arrival-depth profile of
+// the carry chain, the trigger chosen for every EE master, and a per-wave
+// delay histogram with and without EE — making the "carry-in arrives last"
+// mechanism of the paper visible.
+
+#include <cstdio>
+#include <map>
+
+#include "bool/support.hpp"
+#include "ee/ee_transform.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "sim/measure.hpp"
+#include "synth/rtl.hpp"
+
+using namespace plee;
+
+namespace {
+
+void print_histogram(const char* label, const std::vector<double>& delays) {
+    std::map<int, int> buckets;
+    for (double d : delays) ++buckets[static_cast<int>(d)];
+    std::printf("%s\n", label);
+    for (const auto& [bucket, count] : buckets) {
+        std::printf("  %2d-%2d ns | %s (%d)\n", bucket, bucket + 1,
+                    std::string(static_cast<std::size_t>(count), '#').c_str(),
+                    count);
+    }
+}
+
+}  // namespace
+
+int main() {
+    syn::module_builder m("adder8");
+    const syn::bus a = m.input_bus("a", 8);
+    const syn::bus b = m.input_bus("b", 8);
+    const auto sum = m.add(a, b);
+    m.output_bus("sum", sum.sum);
+    m.output("cout", sum.carry);
+    const nl::netlist netlist = m.build();
+
+    pl::map_result base = pl::map_to_phased_logic(netlist);
+    pl::map_result with_ee = pl::map_to_phased_logic(netlist);
+    const ee::ee_stats stats = ee::apply_early_evaluation(with_ee.pl);
+
+    // Arrival-depth profile: how late each gate's inputs get.
+    const std::vector<int> depth = base.pl.arrival_depth();
+    int max_depth = 0;
+    for (pl::gate_id g = 0; g < base.pl.num_gates(); ++g) {
+        max_depth = std::max(max_depth, depth[g]);
+    }
+    std::printf("8-bit ripple adder: %zu PL gates, carry chain depth %d\n",
+                base.pl.num_pl_gates(), max_depth);
+
+    std::printf("\nEE masters (%zu):\n", stats.triggers_added);
+    for (const ee::applied_trigger& at : stats.applied) {
+        std::printf("  depth %d: trigger over pins {",
+                    at.candidate.master_max_arrival);
+        bool first = true;
+        for (int p : bf::support_members(at.candidate.support)) {
+            std::printf("%s%d", first ? "" : ",", p);
+            first = false;
+        }
+        std::printf("} coverage %.0f%% cost %.1f\n",
+                    at.candidate.coverage_percent, at.candidate.cost);
+    }
+
+    sim::measure_options opts;
+    opts.num_vectors = 200;
+    const sim::measure_result r_base =
+        sim::measure_average_delay(base.pl, &netlist, opts);
+    const sim::measure_result r_ee =
+        sim::measure_average_delay(with_ee.pl, &netlist, opts);
+
+    std::printf("\nwithout EE: avg %.2f ns (min %.2f, max %.2f, stddev %.2f)\n",
+                r_base.avg_delay, r_base.min_delay, r_base.max_delay,
+                r_base.stddev);
+    std::printf("with EE:    avg %.2f ns (min %.2f, max %.2f, stddev %.2f)\n",
+                r_ee.avg_delay, r_ee.min_delay, r_ee.max_delay, r_ee.stddev);
+    std::printf("EE hit rate: %.0f%% of master firings (%llu wins where the "
+                "efire path was strictly faster)\n\n",
+                100.0 * static_cast<double>(r_ee.stats.ee_hits) /
+                    static_cast<double>(r_ee.stats.ee_hits + r_ee.stats.ee_misses),
+                static_cast<unsigned long long>(r_ee.stats.ee_wins));
+
+    print_histogram("delay histogram without EE:", r_base.delays);
+    print_histogram("delay histogram with EE:", r_ee.delays);
+
+    std::printf("\nNote the long no-EE tail: every wave pays the full carry\n"
+                "ripple, while EE's delay tracks the longest propagate run of\n"
+                "the actual operands (the average-case-vs-worst-case argument\n"
+                "of the paper's introduction).\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+// arbiter_voting.cpp — b03 (resource arbiter) and b10 (voting system).
+
+#include "bench_circuits/itc99.hpp"
+
+#include "synth/rtl.hpp"
+
+namespace plee::bench {
+
+// b03: "Resource arbiter".  Four requesters share one resource under a
+// rotating (round-robin) priority: pending requests are latched, the grant
+// goes to the first pending requester after the previous winner, and the
+// winner's index is remembered for the next round.
+nl::netlist make_b03() {
+    syn::module_builder m("b03");
+    auto& a = m.arena();
+
+    syn::bus req;
+    for (int i = 0; i < 4; ++i) req.push_back(m.input("req" + std::to_string(i)));
+
+    const syn::bus last = m.new_register("last", 2, 3);      // previous winner
+    const syn::bus pending_q = m.new_register("pending", 4, 0);
+
+    // Requests stay pending until granted.
+    const syn::bus live = m.bw_or(req, pending_q);
+
+    // Rotating priority: for each possible previous winner w, the scan order
+    // is w+1, w+2, w+3, w.  Build the grant vector per case and select.
+    const std::vector<syn::expr_id> last_is = m.decode(last);
+    syn::bus grant(4, a.konst(false));
+    for (int w = 0; w < 4; ++w) {
+        syn::expr_id nobody_before = a.konst(true);
+        for (int k = 1; k <= 4; ++k) {
+            const int cand = (w + k) % 4;
+            const syn::expr_id take =
+                a.and_(last_is[static_cast<std::size_t>(w)],
+                       a.and_(nobody_before, live[static_cast<std::size_t>(cand)]));
+            grant[static_cast<std::size_t>(cand)] =
+                a.or_(grant[static_cast<std::size_t>(cand)], take);
+            nobody_before =
+                a.and_(nobody_before, a.not_(live[static_cast<std::size_t>(cand)]));
+        }
+    }
+
+    // Encode the winner and update the rotation register when a grant fires.
+    const syn::expr_id any_grant = m.reduce_or(grant);
+    syn::bus winner(2, a.konst(false));
+    winner[0] = a.or_(grant[1], grant[3]);
+    winner[1] = a.or_(grant[2], grant[3]);
+    m.connect_register(last, m.mux2(any_grant, winner, last));
+    m.connect_register(pending_q, m.bw_and(live, m.bw_not(grant)));
+
+    m.output_bus("grant", grant);
+    m.output("busy", any_grant);
+    return m.build();
+}
+
+// b10: "Voting system".  Four vote lines increment per-candidate tallies;
+// the leader (lowest index wins ties) and a tie flag are reported
+// combinationally, and `clear` restarts the election.
+nl::netlist make_b10() {
+    syn::module_builder m("b10");
+    auto& a = m.arena();
+
+    const syn::expr_id clear = m.input("clear");
+    syn::bus vote;
+    for (int i = 0; i < 4; ++i) vote.push_back(m.input("vote" + std::to_string(i)));
+
+    std::vector<syn::bus> tally;
+    for (int i = 0; i < 4; ++i) {
+        const syn::bus q = m.new_register("tally" + std::to_string(i), 4, 0);
+        const syn::bus bumped = m.mux2(vote[static_cast<std::size_t>(i)], m.inc(q), q);
+        m.connect_register(q, m.mux2(clear, m.literal(0, 4), bumped));
+        tally.push_back(q);
+    }
+
+    // Pairwise comparator tree: candidates 0/1, 2/3, then the winners.
+    const syn::expr_id c1_beats_c0 = m.ugt(tally[1], tally[0]);
+    const syn::expr_id c3_beats_c2 = m.ugt(tally[3], tally[2]);
+    const syn::bus semi_a = m.mux2(c1_beats_c0, tally[1], tally[0]);
+    const syn::bus semi_b = m.mux2(c3_beats_c2, tally[3], tally[2]);
+    const syn::expr_id b_wins = m.ugt(semi_b, semi_a);
+
+    syn::bus leader(2, a.konst(false));
+    leader[1] = b_wins;
+    leader[0] = a.mux(b_wins, c3_beats_c2, c1_beats_c0);
+
+    const syn::expr_id finals_tied = m.eq(semi_a, semi_b);
+    const syn::expr_id semis_tied =
+        a.or_(m.eq(tally[0], tally[1]), m.eq(tally[2], tally[3]));
+
+    m.output_bus("leader", leader);
+    m.output("tie", a.or_(finals_tied, semis_tied));
+    m.output_bus("top_count", m.mux2(b_wins, semi_b, semi_a));
+    return m.build();
+}
+
+}  // namespace plee::bench

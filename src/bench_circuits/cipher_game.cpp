@@ -1,0 +1,150 @@
+// cipher_game.cpp — b11 (stream cipher scrambler), b12 (sequence-guessing
+// game) and b13 (meteo sensor interface).
+
+#include "bench_circuits/itc99.hpp"
+
+#include "synth/fsm.hpp"
+#include "synth/rtl.hpp"
+
+namespace plee::bench {
+
+// b11: "Scramble string with a cipher".  Each input character is mixed with
+// a rotating key through xor/add stages (arithmetic-heavy on purpose: the
+// paper reports one of the largest EE wins here) and a running checksum
+// accumulates the scrambled stream.
+nl::netlist make_b11() {
+    syn::module_builder m("b11");
+    const syn::expr_id load_key = m.input("load_key");
+    const syn::bus chr = m.input_bus("char", 16);
+
+    const syn::bus key = m.new_register("key", 16, 0x5aa5);
+    const syn::bus chain = m.new_register("chain", 16, 0x0000);
+    const syn::bus csum = m.new_register("csum", 16, 0x0000);
+
+    // Two mixing rounds: (char ^ key) + chain, rotate, + key.
+    const syn::bus mixed = m.bw_xor(chr, key);
+    const syn::bus round1 = m.add(mixed, chain).sum;
+    const syn::bus rotated = m.rotl(round1, 5);
+    const syn::bus scrambled = m.add(rotated, key).sum;
+
+    // Key schedule: rotate and perturb with the new character; reload on
+    // request.
+    const syn::bus key_evolved = m.bw_xor(m.rotl(key, 1), chr);
+    m.connect_register(key, m.mux2(load_key, chr, key_evolved));
+    m.connect_register(chain, scrambled);
+    m.connect_register(csum, m.add(csum, scrambled).sum);
+
+    m.output_bus("scrambled", scrambled);
+    m.output_bus("checksum", csum);
+    return m.build();
+}
+
+// b12: "1-player game (guess a sequence)".  An LFSR produces the hidden
+// sequence; the player submits byte guesses under an FSM that scores hits,
+// counts rounds and times out slow moves.
+nl::netlist make_b12() {
+    syn::module_builder m("b12");
+    auto& a = m.arena();
+    const syn::expr_id start = m.input("start");
+    const syn::expr_id submit = m.input("submit");
+    const syn::bus guess = m.input_bus("guess", 8);
+
+    // Hidden sequence generator: 16-bit Fibonacci LFSR (taps 16,15,13,4).
+    const syn::bus lfsr = m.new_register("lfsr", 16, 0xace1);
+    const syn::expr_id feedback =
+        a.xor_(a.xor_(lfsr[15], lfsr[14]), a.xor_(lfsr[12], lfsr[3]));
+
+    const syn::bus score = m.new_register("score", 16, 0);
+    const syn::bus rounds = m.new_register("rounds", 5, 0);
+    const syn::bus timer = m.new_register("timer", 8, 0);
+
+    enum { idle, show, wait_guess, check, done };
+    syn::fsm_builder fsm(m, "game", 5, idle);
+
+    const syn::expr_id timed_out = m.eq_const(timer, 255);
+    const syn::expr_id last_round = m.eq_const(rounds, 31);
+
+    fsm.transition(idle, start, show);
+    fsm.transition(show, a.konst(true), wait_guess);
+    fsm.transition(wait_guess, submit, check);
+    fsm.transition(wait_guess, timed_out, check);
+    fsm.transition(check, last_round, done);
+    fsm.transition(check, a.konst(true), show);
+    fsm.transition(done, start, show);
+
+    const syn::expr_id in_show = fsm.in_state(show);
+    const syn::expr_id in_wait = fsm.in_state(wait_guess);
+    const syn::expr_id in_check = fsm.in_state(check);
+
+    const syn::bus hidden(lfsr.begin(), lfsr.begin() + 8);
+    const syn::expr_id hit = a.and_(m.eq(guess, hidden), a.not_(timed_out));
+
+    // Advance the LFSR while showing; award a point per hit in check.
+    m.connect_register(lfsr, m.mux2(in_show, m.shl(lfsr, 1, feedback), lfsr));
+    const syn::bus bumped = m.inc(score);
+    const syn::bus score_next =
+        m.mux2(a.and_(in_check, hit), bumped, score);
+    m.connect_register(score, m.mux2(a.and_(fsm.in_state(idle), start),
+                                     m.literal(0, 16), score_next));
+    m.connect_register(rounds, m.mux2(in_check, m.inc(rounds),
+                                      m.mux2(start, m.literal(0, 5), rounds)));
+    m.connect_register(timer, m.mux2(in_wait, m.inc(timer), m.literal(0, 8)));
+
+    m.output_bus("score", score);
+    m.output("game_over", fsm.in_state(done));
+    m.output("awaiting", in_wait);
+    fsm.finalize();
+    return m.build();
+}
+
+// b13: "Interface to meteo sensors".  A framed serial protocol: a start
+// pulse opens a frame, eight data bits are shifted in, the captured reading
+// is range-checked against storm/frost thresholds and out-of-range frames
+// bump an error counter.
+nl::netlist make_b13() {
+    syn::module_builder m("b13");
+    auto& a = m.arena();
+    const syn::expr_id frame = m.input("frame");
+    const syn::expr_id sdata = m.input("sdata");
+
+    const syn::bus shift = m.new_register("shift", 8, 0);
+    const syn::bus reading = m.new_register("reading", 8, 0x40);
+    const syn::bus errors = m.new_register("errors", 4, 0);
+    const syn::bus bitcnt = m.new_register("bitcnt", 3, 0);
+
+    enum { idle, recv, commit };
+    syn::fsm_builder fsm(m, "rx", 3, idle);
+
+    const syn::expr_id last_bit = m.eq_const(bitcnt, 7);
+    fsm.transition(idle, frame, recv);
+    fsm.transition(recv, last_bit, commit);
+    fsm.transition(commit, a.konst(true), idle);
+
+    const syn::expr_id in_recv = fsm.in_state(recv);
+    const syn::expr_id in_commit = fsm.in_state(commit);
+
+    m.connect_register(shift, m.mux2(in_recv, m.shl(shift, 1, sdata), shift));
+    m.connect_register(bitcnt, m.mux2(in_recv, m.inc(bitcnt), m.literal(0, 3)));
+    m.connect_register(reading, m.mux2(in_commit, shift, reading));
+
+    // Range plausibility: frost below 0x20, storm above 0xd0.
+    const syn::expr_id frost = m.ult(reading, m.literal(0x20, 8));
+    const syn::expr_id storm = m.ugt(reading, m.literal(0xd0, 8));
+    const syn::expr_id out_of_range = a.or_(frost, storm);
+    m.connect_register(errors,
+                       m.mux2(a.and_(in_commit, out_of_range), m.inc(errors), errors));
+
+    const syn::bus csum = m.new_register("csum", 8, 0);
+    m.connect_register(csum, m.mux2(in_commit, m.bw_xor(m.rotl(csum, 1), shift), csum));
+
+    m.output_bus("reading", reading);
+    m.output_bus("csum", csum);
+    m.output("frost", frost);
+    m.output("storm", storm);
+    m.output_bus("errors", errors);
+    m.output("receiving", in_recv);
+    fsm.finalize();
+    return m.build();
+}
+
+}  // namespace plee::bench

@@ -1,0 +1,183 @@
+// cpu.cpp — b14 ("Viper processor (subset)") and b15 ("80386 processor
+// (subset)"): the two large arithmetic-dominated benchmarks of Table 3.
+//
+// Both are accumulator-style processor subsets built from the same
+// generator: a program ROM (folded into LUT logic), a register file, an ALU
+// with ripple-carry add/sub (the carry chains are where Early Evaluation
+// earns the paper's 38-45% wins), flag logic and a branching program
+// counter.  b14 is a 32-bit, 4-register machine; b15 widens to a 32-bit,
+// 8-register machine with a rotate unit and an address-generation adder,
+// mirroring the relative sizes in the paper (b15 ~1.7x b14).
+
+#include "bench_circuits/itc99.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "synth/rtl.hpp"
+
+namespace plee::bench {
+
+namespace {
+
+enum op_code : std::uint8_t {
+    op_add = 0,
+    op_sub = 1,
+    op_and = 2,
+    op_or = 3,
+    op_xor = 4,
+    op_mov = 5,
+    op_cmp = 6,
+    op_brz = 7,
+};
+
+struct instruction {
+    std::uint8_t op;       // 3 bits
+    std::uint8_t dst;      // up to 3 bits (masked to the register count)
+    std::uint8_t src;      // up to 3 bits
+    std::uint8_t use_imm;  // 1 bit: operand B comes from the external bus
+};
+
+/// 16-slot demo program exercising every op, with data-dependent branches.
+constexpr std::array<instruction, 16> k_program = {{
+    {op_mov, 0, 0, 1}, {op_mov, 1, 4, 1}, {op_add, 0, 1, 0}, {op_sub, 2, 0, 1},
+    {op_and, 3, 0, 1}, {op_xor, 5, 2, 0}, {op_or, 2, 7, 0},  {op_cmp, 0, 1, 0},
+    {op_brz, 0, 0, 1}, {op_add, 1, 5, 1}, {op_sub, 4, 2, 0}, {op_xor, 3, 3, 1},
+    {op_cmp, 2, 6, 0}, {op_brz, 0, 0, 1}, {op_add, 6, 0, 1}, {op_mov, 2, 1, 0},
+}};
+
+/// Builds one ROM field bit as logic over the 4-bit program counter.
+syn::expr_id rom_bit(syn::module_builder& m, const syn::bus& pc,
+                     bool (*extract)(const instruction&)) {
+    auto& a = m.arena();
+    syn::expr_id e = a.konst(false);
+    for (std::uint32_t slot = 0; slot < k_program.size(); ++slot) {
+        if (!extract(k_program[slot])) continue;
+        std::vector<syn::expr_id> terms;
+        for (int k = 0; k < 4; ++k) {
+            terms.push_back((slot >> k) & 1u ? pc[static_cast<std::size_t>(k)]
+                                             : a.not_(pc[static_cast<std::size_t>(k)]));
+        }
+        e = a.or_(e, a.and_all(terms));
+    }
+    return e;
+}
+
+nl::netlist make_cpu(const std::string& name, int width, int num_regs,
+                     bool extended) {
+    syn::module_builder m(name);
+    auto& a = m.arena();
+
+    const int reg_bits = num_regs == 8 ? 3 : 2;
+
+    const syn::bus din = m.input_bus("din", width);
+    const syn::expr_id run = m.input("run");
+
+    const syn::bus pc = m.new_register("pc", 4, 0);
+
+    // --- Instruction decode (program ROM folded into PC logic) -------------
+    syn::bus op(3), dst(static_cast<std::size_t>(reg_bits)),
+        src(static_cast<std::size_t>(reg_bits));
+    static constexpr std::array<bool (*)(const instruction&), 3> op_bits = {
+        [](const instruction& i) { return (i.op & 1) != 0; },
+        [](const instruction& i) { return (i.op & 2) != 0; },
+        [](const instruction& i) { return (i.op & 4) != 0; }};
+    static constexpr std::array<bool (*)(const instruction&), 3> dst_bits = {
+        [](const instruction& i) { return (i.dst & 1) != 0; },
+        [](const instruction& i) { return (i.dst & 2) != 0; },
+        [](const instruction& i) { return (i.dst & 4) != 0; }};
+    static constexpr std::array<bool (*)(const instruction&), 3> src_bits = {
+        [](const instruction& i) { return (i.src & 1) != 0; },
+        [](const instruction& i) { return (i.src & 2) != 0; },
+        [](const instruction& i) { return (i.src & 4) != 0; }};
+    for (int b = 0; b < 3; ++b) {
+        op[static_cast<std::size_t>(b)] =
+            rom_bit(m, pc, op_bits[static_cast<std::size_t>(b)]);
+    }
+    for (int b = 0; b < reg_bits; ++b) {
+        dst[static_cast<std::size_t>(b)] =
+            rom_bit(m, pc, dst_bits[static_cast<std::size_t>(b)]);
+        src[static_cast<std::size_t>(b)] =
+            rom_bit(m, pc, src_bits[static_cast<std::size_t>(b)]);
+    }
+    const syn::expr_id use_imm =
+        rom_bit(m, pc, [](const instruction& i) { return i.use_imm != 0; });
+
+    // --- Register file -------------------------------------------------------
+    std::vector<syn::bus> regs;
+    std::vector<syn::bus> options;
+    for (int r = 0; r < num_regs; ++r) {
+        regs.push_back(m.new_register("r" + std::to_string(r), width,
+                                      static_cast<std::uint64_t>(r) * 3 + 1));
+        options.push_back(regs.back());
+    }
+    const syn::bus reg_a = m.mux_tree(dst, options);
+    const syn::bus reg_b = m.mux_tree(src, options);
+    const syn::bus operand_b = m.mux2(use_imm, din, reg_b);
+
+    // --- ALU -----------------------------------------------------------------
+    const syn::module_builder::add_result sum = m.add(reg_a, operand_b);
+    const syn::module_builder::sub_result dif = m.sub(reg_a, operand_b);
+    const syn::bus land = m.bw_and(reg_a, operand_b);
+    const syn::bus lor = m.bw_or(reg_a, operand_b);
+    const syn::bus lxor = m.bw_xor(reg_a, operand_b);
+    const syn::bus pass_b = operand_b;
+    const syn::bus shl1 = m.shl(reg_a, 1, a.konst(false));
+
+    syn::bus result = m.mux_tree(
+        op, {sum.sum, dif.diff, land, lor, lxor, pass_b, dif.diff, shl1});
+    if (extended) {
+        // b15: a rotate unit keyed on the low opcode bits and an
+        // address-generation adder (base + displacement).
+        const syn::bus rot1 = m.rotl(result, 1);
+        const syn::bus rot_q = m.rotl(result, width / 4);
+        const syn::bus rot_h = m.rotl(result, width / 2);
+        result = m.mux_tree({op[0], op[1]}, {result, rot1, rot_q, rot_h});
+        const syn::bus agu = m.add(reg_b, din).sum;
+        m.output_bus("addr", agu);
+    }
+
+    // --- Flags ----------------------------------------------------------------
+    const syn::expr_id is_cmp = m.eq_const(op, op_cmp);
+    const syn::expr_id is_brz = m.eq_const(op, op_brz);
+    const syn::expr_id sets_flags = a.not_(is_brz);
+    const syn::bus flags = m.new_register("flags", 3, 0);  // {zero, carry, neg}
+    const syn::expr_id zero_now = m.eq_const(result, 0);
+    const syn::expr_id carry_now = a.mux(m.eq_const(op, op_sub), dif.borrow, sum.carry);
+    const syn::expr_id neg_now = result[result.size() - 1];
+    syn::bus flags_next = flags;
+    flags_next[0] = a.mux(sets_flags, zero_now, flags[0]);
+    flags_next[1] = a.mux(sets_flags, carry_now, flags[1]);
+    flags_next[2] = a.mux(sets_flags, neg_now, flags[2]);
+    m.connect_register(flags, m.mux2(run, flags_next, flags));
+
+    // --- Writeback --------------------------------------------------------------
+    const syn::expr_id writes = a.and_(run, a.and_(a.not_(is_cmp), a.not_(is_brz)));
+    const std::vector<syn::expr_id> dst_is = m.decode(dst);
+    for (int r = 0; r < num_regs; ++r) {
+        const syn::expr_id we = a.and_(writes, dst_is[static_cast<std::size_t>(r)]);
+        m.connect_register(regs[static_cast<std::size_t>(r)],
+                           m.mux2(we, result, regs[static_cast<std::size_t>(r)]));
+    }
+
+    // --- Program counter -----------------------------------------------------------
+    const syn::expr_id taken = a.and_(is_brz, flags[0]);
+    const syn::bus pc_plus1 = m.inc(pc);
+    const syn::bus pc_branch = m.add(pc, syn::bus(din.begin(), din.begin() + 4)).sum;
+    m.connect_register(pc, m.mux2(run, m.mux2(taken, pc_branch, pc_plus1), pc));
+
+    m.output_bus("acc", regs[0]);
+    m.output_bus("pc_out", pc);
+    m.output("zero", flags[0]);
+    m.output("carry", flags[1]);
+    m.output("neg", flags[2]);
+    return m.build();
+}
+
+}  // namespace
+
+nl::netlist make_b14() { return make_cpu("b14", 32, 4, false); }
+
+nl::netlist make_b15() { return make_cpu("b15", 32, 8, true); }
+
+}  // namespace plee::bench

@@ -1,0 +1,185 @@
+// datapath.cpp — the medium arithmetic/stream benchmarks of Table 3:
+// b04 (min/max), b05 (memory contents), b07 (points on a line),
+// b08 (inclusions in sequences), b09 (serial-to-serial converter).
+
+#include "bench_circuits/itc99.hpp"
+
+#include <array>
+
+#include "synth/rtl.hpp"
+
+namespace plee::bench {
+
+// b04: "Compute min and max".  A 16-bit sample stream updates running
+// minimum/maximum registers; `restart` re-arms them and a combinational
+// flag reports whether the current sample lies inside the running range.
+nl::netlist make_b04() {
+    syn::module_builder m("b04");
+    const syn::expr_id restart = m.input("restart");
+    const syn::expr_id enable = m.input("enable");
+    const syn::bus data = m.input_bus("data", 16);
+
+    const syn::bus rmin = m.new_register("rmin", 16, 0xffff);
+    const syn::bus rmax = m.new_register("rmax", 16, 0x0000);
+
+    const syn::expr_id below = m.ult(data, rmin);
+    const syn::expr_id above = m.ugt(data, rmax);
+
+    syn::bus min_next = m.mux2(m.arena().and_(enable, below), data, rmin);
+    syn::bus max_next = m.mux2(m.arena().and_(enable, above), data, rmax);
+    m.connect_register(rmin, m.mux2(restart, m.literal(0xffff, 16), min_next));
+    m.connect_register(rmax, m.mux2(restart, m.literal(0x0000, 16), max_next));
+
+    m.output_bus("min", rmin);
+    m.output_bus("max", rmax);
+    m.output("in_range", m.arena().and_(m.ule(rmin, data), m.ule(data, rmax)));
+    return m.build();
+}
+
+// b05: "Elaborate contents of memory".  A walking address scans a 32-word
+// ROM (synthesized into LUT logic); the datapath accumulates a 16-bit sum of
+// the words and tracks the largest word seen.
+nl::netlist make_b05() {
+    syn::module_builder m("b05");
+    auto& a = m.arena();
+    const syn::expr_id start = m.input("start");
+    const syn::expr_id run = m.input("run");
+
+    static constexpr std::array<std::uint8_t, 32> rom_words = {
+        0x3a, 0x07, 0xc1, 0x58, 0x9d, 0x22, 0x6f, 0xe4, 0x11, 0x85, 0x4c,
+        0xf0, 0x2b, 0x96, 0x63, 0xd8, 0x19, 0xa7, 0x5e, 0xc3, 0x30, 0x8b,
+        0x76, 0xed, 0x02, 0xb9, 0x44, 0xfa, 0x5d, 0x81, 0x6a, 0xce};
+
+    const syn::bus addr = m.new_register("addr", 5, 0);
+    // ROM bit j = a sum of address minterms; the expression layer lets the
+    // mapper pack the decode with downstream logic.
+    syn::bus word;
+    for (int j = 0; j < 8; ++j) {
+        syn::expr_id e = a.konst(false);
+        for (std::uint32_t v = 0; v < rom_words.size(); ++v) {
+            if (!((rom_words[v] >> j) & 1u)) continue;
+            std::vector<syn::expr_id> terms;
+            for (int k = 0; k < 5; ++k) {
+                terms.push_back((v >> k) & 1u ? addr[static_cast<std::size_t>(k)]
+                                              : a.not_(addr[static_cast<std::size_t>(k)]));
+            }
+            e = a.or_(e, a.and_all(terms));
+        }
+        word.push_back(e);
+    }
+
+    const syn::bus acc = m.new_register("acc", 16, 0);
+    const syn::bus best = m.new_register("best", 8, 0);
+
+    syn::bus word16 = word;
+    while (word16.size() < 16) word16.push_back(a.konst(false));
+
+    const syn::bus acc_next = m.add(acc, word16).sum;
+    const syn::bus best_next = m.mux2(m.ugt(word, best), word, best);
+
+    m.connect_register(addr, m.mux2(start, m.literal(0, 5),
+                                    m.mux2(run, m.inc(addr), addr)));
+    m.connect_register(acc, m.mux2(start, m.literal(0, 16),
+                                   m.mux2(run, acc_next, acc)));
+    m.connect_register(best, m.mux2(start, m.literal(0, 8),
+                                    m.mux2(run, best_next, best)));
+
+    m.output_bus("sum", acc);
+    m.output_bus("best", best);
+    m.output("wrapped", m.eq_const(addr, 31));
+    return m.build();
+}
+
+// b07: "Count points on a straight line".  A reference point is latched on
+// `load_ref`; every subsequent sample is tested against the two unit-slope
+// lines through the reference (|dx| == |dy|) and hits are counted.
+nl::netlist make_b07() {
+    syn::module_builder m("b07");
+    auto& a = m.arena();
+    const syn::expr_id load_ref = m.input("load_ref");
+    const syn::expr_id enable = m.input("enable");
+    const syn::bus x = m.input_bus("x", 12);
+    const syn::bus y = m.input_bus("y", 12);
+
+    const syn::bus x0 = m.new_register("x0", 12, 0);
+    const syn::bus y0 = m.new_register("y0", 12, 0);
+    const syn::bus hits = m.new_register("hits", 8, 0);
+
+    const syn::bus dx = m.sub(x, x0).diff;
+    const syn::bus dy = m.sub(y, y0).diff;
+    const syn::bus neg_dy = m.sub(m.literal(0, 12), dy).diff;
+
+    const syn::expr_id diagonal = a.or_(m.eq(dx, dy), m.eq(dx, neg_dy));
+    const syn::expr_id counted = a.and_(enable, a.and_(diagonal, a.not_(load_ref)));
+
+    m.connect_register(x0, m.mux2(load_ref, x, x0));
+    m.connect_register(y0, m.mux2(load_ref, y, y0));
+    m.connect_register(hits, m.mux2(counted, m.inc(hits), hits));
+
+    m.output("on_line", diagonal);
+    m.output_bus("count", hits);
+    return m.build();
+}
+
+// b08: "Find inclusions in sequences".  A serial bit stream shifts through
+// a 16-bit window; both bytes of the window are matched against an 8-bit
+// pattern and the inclusion count accumulates.
+nl::netlist make_b08() {
+    syn::module_builder m("b08");
+    auto& a = m.arena();
+    const syn::expr_id sin = m.input("sin");
+    const syn::bus pattern = m.input_bus("pattern", 8);
+
+    const syn::bus window = m.new_register("window", 16, 0);
+    const syn::bus count = m.new_register("count", 8, 0);
+
+    syn::bus shifted = m.shl(window, 1, sin);
+    m.connect_register(window, shifted);
+
+    const syn::bus low(window.begin(), window.begin() + 8);
+    const syn::bus high(window.begin() + 8, window.end());
+    const syn::expr_id hit = a.or_(m.eq(low, pattern), m.eq(high, pattern));
+    m.connect_register(count, m.mux2(hit, m.inc(count), count));
+
+    m.output("match", hit);
+    m.output_bus("inclusions", count);
+    return m.build();
+}
+
+// b09: "Serial to serial converter".  Bits are deserialized into a byte;
+// every eighth bit the byte is re-framed (nibble swap mixed with a frame
+// counter) into the transmit shift register, which streams back out
+// serially with a parity rail.
+nl::netlist make_b09() {
+    syn::module_builder m("b09");
+    auto& a = m.arena();
+    const syn::expr_id sin = m.input("sin");
+
+    const syn::bus rx = m.new_register("rx", 8, 0);
+    const syn::bus tx = m.new_register("tx", 8, 0);
+    const syn::bus phase = m.new_register("phase", 3, 0);
+    const syn::bus frames = m.new_register("frames", 4, 0);
+
+    const syn::bus rx_next = m.shl(rx, 1, sin);
+    const syn::expr_id byte_done = m.eq_const(phase, 7);
+
+    // Re-frame the received byte: nibble swap mixed with the frame counter
+    // (a serial protocol conversion has no arithmetic in it).
+    const syn::bus swapped = m.rotl(rx_next, 4);
+    syn::bus frames8 = frames;
+    while (frames8.size() < 8) frames8.push_back(a.konst(false));
+    const syn::bus loaded = m.bw_xor(swapped, frames8);
+    const syn::bus tx_shift = m.shr(tx, 1, a.konst(false));
+
+    m.connect_register(rx, rx_next);
+    m.connect_register(tx, m.mux2(byte_done, loaded, tx_shift));
+    m.connect_register(phase, m.inc(phase));
+    m.connect_register(frames, m.mux2(byte_done, m.inc(frames), frames));
+
+    m.output("sout", tx[0]);
+    m.output("frame", byte_done);
+    m.output("parity", m.reduce_xor(tx));
+    return m.build();
+}
+
+}  // namespace plee::bench

@@ -1,0 +1,35 @@
+#include "bench_circuits/itc99.hpp"
+
+#include <stdexcept>
+
+namespace plee::bench {
+
+const std::vector<benchmark_info>& itc99_suite() {
+    static const std::vector<benchmark_info> suite = {
+        {"b01", "FSM that compares serial flows", &make_b01},
+        {"b02", "FSM that recognizes BCD numbers", &make_b02},
+        {"b03", "Resource arbiter", &make_b03},
+        {"b04", "Compute min and max", &make_b04},
+        {"b05", "Elaborate contents of memory", &make_b05},
+        {"b06", "Interrupt Handler", &make_b06},
+        {"b07", "Count points on a straight line", &make_b07},
+        {"b08", "Find inclusions in sequences", &make_b08},
+        {"b09", "Serial to serial converter", &make_b09},
+        {"b10", "Voting system", &make_b10},
+        {"b11", "Scramble string with a cipher", &make_b11},
+        {"b12", "1-player game (guess a sequence)", &make_b12},
+        {"b13", "Interface to meteo sensors", &make_b13},
+        {"b14", "Viper processor (subset)", &make_b14},
+        {"b15", "80386 processor (subset)", &make_b15},
+    };
+    return suite;
+}
+
+nl::netlist build_benchmark(const std::string& id) {
+    for (const benchmark_info& info : itc99_suite()) {
+        if (info.id == id) return info.build();
+    }
+    throw std::invalid_argument("build_benchmark: unknown benchmark '" + id + "'");
+}
+
+}  // namespace plee::bench

@@ -1,0 +1,110 @@
+// small_fsms.cpp — b01 (serial-flow comparator), b02 (BCD recognizer),
+// b06 (interrupt handler): the small control-dominated circuits of Table 3.
+
+#include "bench_circuits/itc99.hpp"
+
+#include "synth/fsm.hpp"
+#include "synth/rtl.hpp"
+
+namespace plee::bench {
+
+// b01: "FSM that compares serial flows".  Two bit-serial streams arrive in
+// lockstep; the machine tracks whether the flows are equal so far, which one
+// leads, and flags an overflow when the same stream leads twice in a row.
+nl::netlist make_b01() {
+    syn::module_builder m("b01");
+    auto& a = m.arena();
+    const syn::expr_id line1 = m.input("line1");
+    const syn::expr_id line2 = m.input("line2");
+
+    enum { eq0, eq1, gt0, gt1, lt0, lt1, ovf };
+    syn::fsm_builder fsm(m, "cmp", 7, eq0);
+
+    const syn::expr_id same = a.xnor_(line1, line2);
+    const syn::expr_id first_leads = a.and_(line1, a.not_(line2));
+    const syn::expr_id second_leads = a.and_(line2, a.not_(line1));
+
+    fsm.transition(eq0, same, eq1);
+    fsm.transition(eq0, first_leads, gt0);
+    fsm.transition(eq0, second_leads, lt0);
+    fsm.transition(eq1, same, eq0);
+    fsm.transition(eq1, first_leads, gt0);
+    fsm.transition(eq1, second_leads, lt0);
+    fsm.transition(gt0, same, gt1);
+    fsm.transition(gt0, first_leads, ovf);
+    fsm.transition(gt0, second_leads, eq0);
+    fsm.transition(gt1, same, gt0);
+    fsm.transition(gt1, first_leads, ovf);
+    fsm.transition(gt1, second_leads, eq1);
+    fsm.transition(lt0, same, lt1);
+    fsm.transition(lt0, second_leads, ovf);
+    fsm.transition(lt0, first_leads, eq0);
+    fsm.transition(lt1, same, lt0);
+    fsm.transition(lt1, second_leads, ovf);
+    fsm.transition(lt1, first_leads, eq1);
+    fsm.otherwise(ovf, eq0);
+
+    m.output("outp", a.or_(fsm.in_state(eq0), fsm.in_state(eq1)));
+    m.output("overflw", fsm.in_state(ovf));
+    fsm.finalize();
+    return m.build();
+}
+
+// b02: "FSM that recognizes BCD numbers".  Nibbles arrive MSB-first on a
+// serial line; the nibble b3 b2 b1 b0 encodes a decimal digit iff b3 = 0 or
+// b2 = b1 = 0 (value <= 9).  One state per bit position, split into
+// accepting/strict/poisoned tracks; `valid` is asserted while the final bit
+// streams in.
+nl::netlist make_b02() {
+    syn::module_builder m("b02");
+    auto& a = m.arena();
+    const syn::expr_id bit = m.input("bit");
+    const syn::expr_id any = a.konst(true);
+
+    enum { p3, p2_any, p2_strict, p1_any, p1_strict, p1_bad, p0_good, p0_bad };
+    syn::fsm_builder fsm(m, "bcd", 8, p3);
+
+    fsm.transition(p3, a.not_(bit), p2_any);    // b3 = 0: remaining bits free
+    fsm.transition(p3, bit, p2_strict);         // b3 = 1: need b2 = b1 = 0
+    fsm.transition(p2_any, any, p1_any);
+    fsm.transition(p2_strict, a.not_(bit), p1_strict);
+    fsm.transition(p2_strict, bit, p1_bad);
+    fsm.transition(p1_any, any, p0_good);
+    fsm.transition(p1_strict, a.not_(bit), p0_good);
+    fsm.transition(p1_strict, bit, p0_bad);
+    fsm.transition(p1_bad, any, p0_bad);
+    fsm.transition(p0_good, any, p3);
+    fsm.transition(p0_bad, any, p3);
+
+    m.output("valid", fsm.in_state(p0_good));
+    m.output("last_bit", a.or_(fsm.in_state(p0_good), fsm.in_state(p0_bad)));
+    fsm.finalize();
+    return m.build();
+}
+
+// b06: "Interrupt Handler".  Two interrupt request lines with fixed
+// priority, an acknowledge input, and grant/busy outputs.
+nl::netlist make_b06() {
+    syn::module_builder m("b06");
+    auto& a = m.arena();
+    const syn::expr_id irq1 = m.input("irq1");
+    const syn::expr_id irq2 = m.input("irq2");
+    const syn::expr_id iack = m.input("iack");
+
+    enum { idle, serve1, serve2, cool };
+    syn::fsm_builder fsm(m, "ih", 4, idle);
+
+    fsm.transition(idle, irq1, serve1);  // irq1 has priority
+    fsm.transition(idle, irq2, serve2);
+    fsm.transition(serve1, iack, cool);
+    fsm.transition(serve2, iack, cool);
+    fsm.transition(cool, a.konst(true), idle);
+
+    m.output("grant1", fsm.in_state(serve1));
+    m.output("grant2", fsm.in_state(serve2));
+    m.output("busy", a.not_(fsm.in_state(idle)));
+    fsm.finalize();
+    return m.build();
+}
+
+}  // namespace plee::bench

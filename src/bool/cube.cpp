@@ -1,0 +1,86 @@
+#include "bool/cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace plee::bf {
+
+cube::cube(std::uint32_t care_mask, std::uint32_t value_mask)
+    : care_mask_(care_mask), value_mask_(value_mask) {
+    if ((value_mask & ~care_mask) != 0) {
+        throw std::invalid_argument("cube: polarity bit set for unbound variable");
+    }
+}
+
+cube cube::from_string(const std::string& s) {
+    std::uint32_t care = 0;
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const std::uint32_t bit = 1u << i;  // variable 0 is the leftmost column
+        switch (s[i]) {
+            case '0': care |= bit; break;
+            case '1': care |= bit; value |= bit; break;
+            case '-': break;
+            default:
+                throw std::invalid_argument("cube::from_string: invalid character");
+        }
+    }
+    return cube(care, value);
+}
+
+cube cube::minterm(int num_vars, std::uint32_t m) {
+    const std::uint32_t care = (1u << num_vars) - 1;
+    if ((m & ~care) != 0) {
+        throw std::invalid_argument("cube::minterm: minterm out of range");
+    }
+    return cube(care, m);
+}
+
+int cube::num_literals() const { return std::popcount(care_mask_); }
+
+bool cube::contains(std::uint32_t minterm) const {
+    return (minterm & care_mask_) == value_mask_;
+}
+
+std::uint32_t cube::num_minterms(int num_vars) const {
+    const int free_vars = num_vars - num_literals();
+    if (free_vars < 0) {
+        throw std::invalid_argument("cube::num_minterms: cube binds more vars than space");
+    }
+    return 1u << free_vars;
+}
+
+bool cube::within_support(std::uint32_t support) const {
+    return (care_mask_ & ~support) == 0;
+}
+
+bool cube::covers(const cube& other) const {
+    // Every constraint of this cube must be imposed (with equal polarity) by
+    // `other`.
+    return (care_mask_ & ~other.care_mask()) == 0 &&
+           (other.value_mask() & care_mask_) == value_mask_;
+}
+
+bool cube::intersects(const cube& other) const {
+    const std::uint32_t common = care_mask_ & other.care_mask();
+    return (value_mask_ & common) == (other.value_mask() & common);
+}
+
+truth_table cube::to_truth_table(int num_vars) const {
+    truth_table t(num_vars);
+    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+        if (contains(m)) t.set(m, true);
+    }
+    return t;
+}
+
+std::string cube::to_string(int num_vars) const {
+    std::string s(static_cast<std::size_t>(num_vars), '-');
+    for (int v = 0; v < num_vars; ++v) {
+        const std::uint32_t bit = 1u << v;
+        if (care_mask_ & bit) s[static_cast<std::size_t>(v)] = (value_mask_ & bit) ? '1' : '0';
+    }
+    return s;
+}
+
+}  // namespace plee::bf

@@ -1,0 +1,72 @@
+// cube.hpp — product terms in positional {0,1,-} notation.
+//
+// The paper derives candidate trigger functions "by processing the cube list
+// representation of the f_ON and f_OFF functions for the master function"
+// (Table 2).  A cube is a partial assignment of the master's input variables;
+// a cube that mentions only variables inside a candidate support set
+// contributes all of its minterms to that support set's coverage.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bool/truth_table.hpp"
+
+namespace plee::bf {
+
+/// A product term over `num_vars` variables, e.g. "00-" = a'b' over {a,b,c}.
+/// Represented by two bitmasks: `care_mask` marks bound variables and
+/// `value_mask` (a subset of `care_mask`) gives their polarities.
+class cube {
+public:
+    /// The universal cube (all variables don't-care).
+    cube() = default;
+
+    cube(std::uint32_t care_mask, std::uint32_t value_mask);
+
+    /// Parses positional notation with variable 0 leftmost, e.g. "1-0".
+    /// This matches the paper's Table 2 layout where the column order is
+    /// a b c and 'a' is variable 0.
+    static cube from_string(const std::string& s);
+
+    /// The cube containing exactly one minterm.
+    static cube minterm(int num_vars, std::uint32_t m);
+
+    std::uint32_t care_mask() const { return care_mask_; }
+    std::uint32_t value_mask() const { return value_mask_; }
+
+    /// Number of bound literals.
+    int num_literals() const;
+
+    /// True when the cube contains the given minterm.
+    bool contains(std::uint32_t minterm) const;
+
+    /// Number of minterms the cube covers in an `num_vars`-dimensional space.
+    std::uint32_t num_minterms(int num_vars) const;
+
+    /// True when every variable the cube binds lies inside `support` (a
+    /// bitmask of allowed variables).  Such cubes survive restriction to the
+    /// candidate trigger support set.
+    bool within_support(std::uint32_t support) const;
+
+    /// True when this cube's minterms are a superset of `other`'s.
+    bool covers(const cube& other) const;
+
+    /// True when the two cubes share at least one minterm.
+    bool intersects(const cube& other) const;
+
+    /// Dense truth table of the cube over `num_vars` variables.
+    truth_table to_truth_table(int num_vars) const;
+
+    /// Positional string with variable 0 leftmost, e.g. "00-".
+    std::string to_string(int num_vars) const;
+
+    bool operator==(const cube& other) const = default;
+
+private:
+    std::uint32_t care_mask_ = 0;
+    std::uint32_t value_mask_ = 0;
+};
+
+}  // namespace plee::bf

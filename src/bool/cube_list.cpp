@@ -1,0 +1,157 @@
+#include "bool/cube_list.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace plee::bf {
+
+cube_list::cube_list(int num_vars) : num_vars_(num_vars) {
+    if (num_vars < 0 || num_vars > k_max_vars) {
+        throw std::invalid_argument("cube_list: arity must be in [0, 6]");
+    }
+}
+
+cube_list::cube_list(int num_vars, std::vector<cube> cubes)
+    : cube_list(num_vars) {
+    cubes_ = std::move(cubes);
+}
+
+void cube_list::add(const cube& c) { cubes_.push_back(c); }
+
+bool cube_list::eval(std::uint32_t minterm) const {
+    return std::any_of(cubes_.begin(), cubes_.end(),
+                       [minterm](const cube& c) { return c.contains(minterm); });
+}
+
+truth_table cube_list::to_truth_table() const {
+    truth_table t(num_vars_);
+    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+        if (eval(m)) t.set(m, true);
+    }
+    return t;
+}
+
+int cube_list::count_covered_minterms() const { return to_truth_table().count_ones(); }
+
+cube_list cube_list::restricted_to_support(std::uint32_t support) const {
+    cube_list out(num_vars_);
+    for (const cube& c : cubes_) {
+        if (c.within_support(support)) out.add(c);
+    }
+    return out;
+}
+
+std::string cube_list::to_string() const {
+    std::string s = "{";
+    for (std::size_t i = 0; i < cubes_.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += cubes_[i].to_string(num_vars_);
+    }
+    s += "}";
+    return s;
+}
+
+std::vector<cube> prime_implicants(const truth_table& f) {
+    const int n = f.num_vars();
+
+    // Classic tabular method.  Implicants are grouped by generation; two
+    // implicants merge when they bind the same variables and differ in exactly
+    // one polarity bit.  Unmerged implicants are prime.
+    struct keyed {
+        std::uint32_t care;
+        std::uint32_t value;
+        bool operator<(const keyed& o) const {
+            return care != o.care ? care < o.care : value < o.value;
+        }
+    };
+
+    std::set<keyed> current;
+    for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+        if (f.eval(m)) current.insert({(1u << n) - 1, m});
+    }
+
+    std::vector<cube> primes;
+    while (!current.empty()) {
+        std::set<keyed> next;
+        std::set<keyed> merged;
+        const std::vector<keyed> items(current.begin(), current.end());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            for (std::size_t j = i + 1; j < items.size(); ++j) {
+                if (items[i].care != items[j].care) continue;
+                const std::uint32_t diff = items[i].value ^ items[j].value;
+                if (std::popcount(diff) != 1) continue;
+                next.insert({items[i].care & ~diff, items[i].value & ~diff});
+                merged.insert(items[i]);
+                merged.insert(items[j]);
+            }
+        }
+        for (const keyed& k : items) {
+            if (!merged.count(k)) primes.emplace_back(k.care, k.value);
+        }
+        current = std::move(next);
+    }
+    return primes;
+}
+
+cube_list isop_cover(const truth_table& f) {
+    const int n = f.num_vars();
+    cube_list cover(n);
+    if (f.is_constant_zero()) return cover;
+    if (f.is_constant_one()) {
+        cover.add(cube(0, 0));
+        return cover;
+    }
+
+    std::vector<cube> primes = prime_implicants(f);
+
+    // Deterministic greedy covering: repeatedly take the prime covering the
+    // most still-uncovered minterms; ties broken by fewest literals, then by
+    // (care, value) ordering for reproducibility.
+    std::uint64_t uncovered = f.bits();
+    auto cube_bits = [n](const cube& c) {
+        std::uint64_t b = 0;
+        for (std::uint32_t m = 0; m < (1u << n); ++m) {
+            if (c.contains(m)) b |= std::uint64_t{1} << m;
+        }
+        return b;
+    };
+    std::vector<std::pair<cube, std::uint64_t>> pool;
+    pool.reserve(primes.size());
+    for (const cube& p : primes) pool.emplace_back(p, cube_bits(p));
+
+    while (uncovered != 0) {
+        int best = -1;
+        int best_gain = -1;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            const int gain = std::popcount(pool[i].second & uncovered);
+            if (gain > best_gain ||
+                (gain == best_gain && best >= 0 &&
+                 (pool[i].first.num_literals() < pool[static_cast<std::size_t>(best)].first.num_literals() ||
+                  (pool[i].first.num_literals() == pool[static_cast<std::size_t>(best)].first.num_literals() &&
+                   std::make_pair(pool[i].first.care_mask(), pool[i].first.value_mask()) <
+                       std::make_pair(pool[static_cast<std::size_t>(best)].first.care_mask(),
+                                      pool[static_cast<std::size_t>(best)].first.value_mask()))))) {
+                best = static_cast<int>(i);
+                best_gain = gain;
+            }
+        }
+        if (best < 0 || best_gain <= 0) {
+            throw std::logic_error("isop_cover: primes fail to cover the ON-set");
+        }
+        cover.add(pool[static_cast<std::size_t>(best)].first);
+        uncovered &= ~pool[static_cast<std::size_t>(best)].second;
+    }
+
+    if (cover.to_truth_table() != f) {
+        throw std::logic_error("isop_cover: produced cover is not equal to input");
+    }
+    return cover;
+}
+
+on_off_cover make_on_off_cover(const truth_table& f) {
+    return on_off_cover{isop_cover(f), isop_cover(~f)};
+}
+
+}  // namespace plee::bf

@@ -1,0 +1,72 @@
+// cube_list.hpp — sum-of-products covers and Quine–McCluskey extraction.
+//
+// The paper's candidate-trigger construction (Section 3, Table 2) starts from
+// cube lists for the master function's ON-set and OFF-set.  We reproduce that
+// pipeline: a truth table is converted into an irredundant prime cover via
+// Quine–McCluskey (exact prime generation + greedy covering — exact enough at
+// LUT4 scale), and the Early Evaluation engine then scans the cover for cubes
+// confined to each candidate support set.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bool/cube.hpp"
+#include "bool/truth_table.hpp"
+
+namespace plee::bf {
+
+/// A disjunction of cubes over a fixed variable count.
+class cube_list {
+public:
+    explicit cube_list(int num_vars);
+    cube_list(int num_vars, std::vector<cube> cubes);
+
+    int num_vars() const { return num_vars_; }
+    const std::vector<cube>& cubes() const { return cubes_; }
+    bool empty() const { return cubes_.empty(); }
+    std::size_t size() const { return cubes_.size(); }
+
+    void add(const cube& c);
+
+    /// Disjunction evaluation: true when any cube contains the minterm.
+    bool eval(std::uint32_t minterm) const;
+
+    /// Dense form of the disjunction.
+    truth_table to_truth_table() const;
+
+    /// Number of distinct minterms covered by the union of all cubes.
+    int count_covered_minterms() const;
+
+    /// The sub-list of cubes whose bound variables all lie in `support`.
+    cube_list restricted_to_support(std::uint32_t support) const;
+
+    /// Human-readable list, e.g. "{00-, 11-}".
+    std::string to_string() const;
+
+private:
+    int num_vars_;
+    std::vector<cube> cubes_;
+};
+
+/// Quine–McCluskey prime-implicant generation for the ON-set of `f`.
+/// Exact for the <= 6-variable functions used throughout this project.
+std::vector<cube> prime_implicants(const truth_table& f);
+
+/// Irredundant-ish SOP cover of `f`: all primes generated exactly, then a
+/// deterministic greedy minterm cover (largest-coverage-first).  The result
+/// is verified to be functionally equal to `f`.
+cube_list isop_cover(const truth_table& f);
+
+/// Convenience: SOP covers of the ON-set and OFF-set, as the paper's
+/// trigger-derivation procedure consumes both ("both 0 and 1-valued"
+/// minterms count toward coverage).
+struct on_off_cover {
+    cube_list on;
+    cube_list off;
+};
+on_off_cover make_on_off_cover(const truth_table& f);
+
+}  // namespace plee::bf

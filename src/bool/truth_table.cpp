@@ -1,0 +1,199 @@
+#include "bool/truth_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace plee::bf {
+
+namespace {
+
+void check_arity(int num_vars) {
+    if (num_vars < 0 || num_vars > k_max_vars) {
+        throw std::invalid_argument("truth_table: arity must be in [0, 6], got " +
+                                    std::to_string(num_vars));
+    }
+}
+
+}  // namespace
+
+truth_table::truth_table(int num_vars) : num_vars_(num_vars) {
+    check_arity(num_vars);
+}
+
+truth_table::truth_table(int num_vars, std::uint64_t bits)
+    : num_vars_(num_vars), bits_(bits) {
+    check_arity(num_vars);
+    if ((bits & ~full_mask()) != 0) {
+        throw std::invalid_argument("truth_table: bits set beyond 2^num_vars rows");
+    }
+}
+
+std::uint64_t truth_table::full_mask() const {
+    const std::uint32_t rows = num_minterms();
+    return rows == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rows) - 1);
+}
+
+truth_table truth_table::constant(int num_vars, bool value) {
+    truth_table t(num_vars);
+    if (value) t.bits_ = t.full_mask();
+    return t;
+}
+
+truth_table truth_table::variable(int num_vars, int var) {
+    check_arity(num_vars);
+    if (var < 0 || var >= num_vars) {
+        throw std::invalid_argument("truth_table::variable: index out of range");
+    }
+    truth_table t(num_vars);
+    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+        if ((m >> var) & 1u) t.bits_ |= std::uint64_t{1} << m;
+    }
+    return t;
+}
+
+truth_table truth_table::from_function(int num_vars,
+                                       const std::function<bool(std::uint32_t)>& fn) {
+    truth_table t(num_vars);
+    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+        if (fn(m)) t.bits_ |= std::uint64_t{1} << m;
+    }
+    return t;
+}
+
+truth_table truth_table::from_string(const std::string& rows) {
+    int num_vars = -1;
+    for (int n = 0; n <= k_max_vars; ++n) {
+        if (rows.size() == (std::size_t{1} << n)) {
+            num_vars = n;
+            break;
+        }
+    }
+    if (num_vars < 0) {
+        throw std::invalid_argument("truth_table::from_string: length is not 2^n (n<=6)");
+    }
+    truth_table t(num_vars);
+    for (std::size_t m = 0; m < rows.size(); ++m) {
+        if (rows[m] == '1') {
+            t.bits_ |= std::uint64_t{1} << m;
+        } else if (rows[m] != '0') {
+            throw std::invalid_argument("truth_table::from_string: invalid character");
+        }
+    }
+    return t;
+}
+
+bool truth_table::eval(std::uint32_t minterm) const {
+    if (minterm >= num_minterms()) {
+        throw std::out_of_range("truth_table::eval: minterm out of range");
+    }
+    return (bits_ >> minterm) & 1u;
+}
+
+void truth_table::set(std::uint32_t minterm, bool value) {
+    if (minterm >= num_minterms()) {
+        throw std::out_of_range("truth_table::set: minterm out of range");
+    }
+    if (value) {
+        bits_ |= std::uint64_t{1} << minterm;
+    } else {
+        bits_ &= ~(std::uint64_t{1} << minterm);
+    }
+}
+
+int truth_table::count_ones() const { return std::popcount(bits_); }
+
+bool truth_table::is_constant_zero() const { return bits_ == 0; }
+
+bool truth_table::is_constant_one() const { return bits_ == full_mask(); }
+
+bool truth_table::depends_on(int var) const {
+    if (var < 0 || var >= num_vars_) return false;
+    return cofactor(var, false).bits_ != cofactor(var, true).bits_;
+}
+
+std::uint32_t truth_table::support_mask() const {
+    std::uint32_t mask = 0;
+    for (int v = 0; v < num_vars_; ++v) {
+        if (depends_on(v)) mask |= 1u << v;
+    }
+    return mask;
+}
+
+int truth_table::support_size() const { return std::popcount(support_mask()); }
+
+truth_table truth_table::cofactor(int var, bool value) const {
+    if (var < 0 || var >= num_vars_) {
+        throw std::invalid_argument("truth_table::cofactor: index out of range");
+    }
+    truth_table t(num_vars_);
+    for (std::uint32_t m = 0; m < num_minterms(); ++m) {
+        std::uint32_t src = value ? (m | (1u << var)) : (m & ~(1u << var));
+        if (eval(src)) t.bits_ |= std::uint64_t{1} << m;
+    }
+    return t;
+}
+
+truth_table truth_table::expand(int new_num_vars) const {
+    check_arity(new_num_vars);
+    if (new_num_vars < num_vars_) {
+        throw std::invalid_argument("truth_table::expand: cannot shrink arity");
+    }
+    truth_table t(new_num_vars);
+    const std::uint32_t low_mask = num_minterms() - 1;
+    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+        if (eval(m & low_mask)) t.bits_ |= std::uint64_t{1} << m;
+    }
+    return t;
+}
+
+truth_table truth_table::permute(const std::vector<int>& perm) const {
+    if (perm.size() != static_cast<std::size_t>(num_vars_)) {
+        throw std::invalid_argument("truth_table::permute: permutation size mismatch");
+    }
+    truth_table t(num_vars_);
+    for (std::uint32_t m = 0; m < num_minterms(); ++m) {
+        std::uint32_t dst = 0;
+        for (int v = 0; v < num_vars_; ++v) {
+            if ((m >> v) & 1u) dst |= 1u << perm[static_cast<std::size_t>(v)];
+        }
+        if (eval(m)) t.bits_ |= std::uint64_t{1} << dst;
+    }
+    return t;
+}
+
+truth_table truth_table::operator~() const {
+    return truth_table(num_vars_, ~bits_ & full_mask());
+}
+
+namespace {
+void check_same_arity(const truth_table& a, const truth_table& b) {
+    if (a.num_vars() != b.num_vars()) {
+        throw std::invalid_argument("truth_table: arity mismatch in binary operation");
+    }
+}
+}  // namespace
+
+truth_table truth_table::operator&(const truth_table& other) const {
+    check_same_arity(*this, other);
+    return truth_table(num_vars_, bits_ & other.bits_);
+}
+
+truth_table truth_table::operator|(const truth_table& other) const {
+    check_same_arity(*this, other);
+    return truth_table(num_vars_, bits_ | other.bits_);
+}
+
+truth_table truth_table::operator^(const truth_table& other) const {
+    check_same_arity(*this, other);
+    return truth_table(num_vars_, bits_ ^ other.bits_);
+}
+
+std::string truth_table::to_string() const {
+    std::string s(num_minterms(), '0');
+    for (std::uint32_t m = 0; m < num_minterms(); ++m) {
+        if (eval(m)) s[m] = '1';
+    }
+    return s;
+}
+
+}  // namespace plee::bf

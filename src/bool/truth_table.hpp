@@ -1,0 +1,108 @@
+// truth_table.hpp — dense complete Boolean functions over up to 6 variables.
+//
+// The Early Evaluation algorithm of Thornton et al. (DATE 2002) operates on
+// LUT4 gate functions: every Phased Logic gate computes a Boolean function of
+// at most four inputs.  A dense truth table in a single 64-bit word is the
+// natural exact representation at that scale; it also covers the 5- and
+// 6-input helper functions the synthesis front-end manipulates before
+// technology mapping.
+//
+// Variable convention: bit v of a minterm index holds the value of variable v,
+// i.e. minterm m assigns variable v the value (m >> v) & 1.  A 4-variable
+// truth table's low 16 bits therefore coincide with the LUT4 configuration
+// mask used throughout the netlist and phased-logic layers.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace plee::bf {
+
+/// Maximum variable count representable by truth_table (64 = 2^6 rows).
+inline constexpr int k_max_vars = 6;
+
+/// A complete Boolean function of `num_vars()` variables stored as a bitmask
+/// over all 2^n minterms.  Immutable-style value type: all algebraic
+/// operations return new tables.
+class truth_table {
+public:
+    /// Constructs the constant-0 function of `num_vars` variables.
+    /// `num_vars` must be in [0, k_max_vars].
+    explicit truth_table(int num_vars);
+
+    /// Constructs from an explicit minterm bitmask; bits above 2^num_vars
+    /// must be zero (checked).
+    truth_table(int num_vars, std::uint64_t bits);
+
+    /// The constant function of the given arity.
+    static truth_table constant(int num_vars, bool value);
+
+    /// The projection function x_var (0 <= var < num_vars).
+    static truth_table variable(int num_vars, int var);
+
+    /// Builds a table by evaluating `fn` on every minterm index.
+    static truth_table from_function(int num_vars,
+                                     const std::function<bool(std::uint32_t)>& fn);
+
+    /// Parses a row string such as "0110" (minterm 0 first).  Length must be
+    /// exactly 2^num_vars for some num_vars <= k_max_vars.
+    static truth_table from_string(const std::string& rows);
+
+    int num_vars() const { return num_vars_; }
+    std::uint64_t bits() const { return bits_; }
+    std::uint32_t num_minterms() const { return 1u << num_vars_; }
+
+    bool eval(std::uint32_t minterm) const;
+    void set(std::uint32_t minterm, bool value);
+
+    /// Number of ON-set minterms.
+    int count_ones() const;
+    /// Number of OFF-set minterms.
+    int count_zeros() const { return static_cast<int>(num_minterms()) - count_ones(); }
+
+    bool is_constant_zero() const;
+    bool is_constant_one() const;
+    bool is_constant() const { return is_constant_zero() || is_constant_one(); }
+
+    /// True when the function value changes with variable `var` for at least
+    /// one assignment of the remaining variables.
+    bool depends_on(int var) const;
+
+    /// Bitmask of variables the function actually depends on.
+    std::uint32_t support_mask() const;
+    /// Number of variables in the support.
+    int support_size() const;
+
+    /// Shannon cofactor with respect to `var` = `value`.  The result has the
+    /// same arity but no longer depends on `var`.
+    truth_table cofactor(int var, bool value) const;
+
+    /// Re-expresses the function over a wider variable set (new variables are
+    /// vacuous).  new_num_vars must be >= num_vars().
+    truth_table expand(int new_num_vars) const;
+
+    /// Permutes variables: new variable `perm[v]` takes the role of old
+    /// variable `v`.  `perm` must be a permutation of [0, num_vars).
+    truth_table permute(const std::vector<int>& perm) const;
+
+    truth_table operator~() const;
+    truth_table operator&(const truth_table& other) const;
+    truth_table operator|(const truth_table& other) const;
+    truth_table operator^(const truth_table& other) const;
+
+    bool operator==(const truth_table& other) const = default;
+
+    /// Row string, minterm 0 first: full-adder carry (3 vars) -> "00010111".
+    std::string to_string() const;
+
+private:
+    std::uint64_t full_mask() const;
+
+    int num_vars_ = 0;
+    std::uint64_t bits_ = 0;
+};
+
+}  // namespace plee::bf

@@ -1,0 +1,54 @@
+#include "ee/ee_transform.hpp"
+
+#include <stdexcept>
+
+#include "ee/trigger_cache.hpp"
+
+namespace plee::ee {
+
+ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
+    ee_stats stats;
+    trigger_cache cache;  // netlists reuse functions heavily; pure speedup
+    const std::vector<int> arrival = pl.arrival_depth();
+
+    // Snapshot the candidate masters first: attaching triggers appends gates
+    // and edges, which must not perturb the iteration or the arrival model.
+    std::vector<pl::gate_id> masters;
+    for (pl::gate_id g = 0; g < pl.num_gates(); ++g) {
+        if (pl.gate(g).kind == pl::gate_kind::compute &&
+            pl.gate(g).data_in.size() >= 2) {
+            masters.push_back(g);
+        }
+    }
+
+    for (pl::gate_id g : masters) {
+        ++stats.masters_considered;
+        const pl::pl_gate& gate = pl.gate(g);
+
+        std::vector<int> pin_arrivals;
+        pin_arrivals.reserve(gate.data_in.size());
+        for (pl::edge_id e : gate.data_in) {
+            pin_arrivals.push_back(arrival[pl.edge(e).from]);
+        }
+
+        const search_result found =
+            find_best_trigger(gate.function, pin_arrivals, options.search, &cache);
+        if (!found.best) continue;
+
+        const pl::gate_id trig =
+            pl.attach_trigger(g, found.best->function, found.best->support);
+        stats.applied.push_back({g, trig, *found.best});
+        ++stats.triggers_added;
+    }
+
+    if (options.verify) {
+        const pl::mg_report report = pl.verify();
+        if (!report.ok()) {
+            throw std::logic_error("apply_early_evaluation: marked graph invalid: " +
+                                   report.violation);
+        }
+    }
+    return stats;
+}
+
+}  // namespace plee::ee

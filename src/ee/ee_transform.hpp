@@ -1,0 +1,47 @@
+// ee_transform.hpp — the Early Evaluation synthesis pass over a PL netlist.
+//
+// "EE circuitry was added to all PL gates where a speedup was possible"
+// (Section 4): for every compute gate, run the trigger search weighted by the
+// gate's input arrival depths; when an implementable candidate exists, attach
+// a trigger gate (the paper's master/trigger EE pair, Figure 2).  The pass
+// re-verifies the marked graph afterwards — the added edges form single-token
+// cycles by construction, so liveness and safety are preserved.
+//
+// Setting `search.cost_threshold` > 0 reproduces the paper's area/delay
+// trade-off: "Thresholding the cost function allows for a tradeoff in area
+// versus delay of a PL circuit."
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ee/trigger_search.hpp"
+#include "plogic/pl_netlist.hpp"
+
+namespace plee::ee {
+
+struct ee_options {
+    search_options search;
+    /// Re-verify the marked graph after the transform (throws on failure).
+    bool verify = true;
+};
+
+/// One applied master/trigger pair, for reporting.
+struct applied_trigger {
+    pl::gate_id master = pl::k_invalid_gate;
+    pl::gate_id trigger = pl::k_invalid_gate;
+    trigger_candidate candidate;
+};
+
+struct ee_stats {
+    std::size_t masters_considered = 0;
+    std::size_t triggers_added = 0;
+    std::vector<applied_trigger> applied;
+};
+
+/// Applies Early Evaluation in place.  Arrival depths are computed once on
+/// the incoming netlist (the paper's static arrival model).
+ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options = {});
+
+}  // namespace plee::ee

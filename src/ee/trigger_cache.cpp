@@ -1,0 +1,18 @@
+#include "ee/trigger_cache.hpp"
+
+#include "ee/trigger_search.hpp"
+
+namespace plee::ee {
+
+const bf::truth_table& trigger_cache::exact(const bf::truth_table& master,
+                                            std::uint32_t support) {
+    const key k{master.bits(), support, master.num_vars()};
+    if (auto it = memo_.find(k); it != memo_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    return memo_.emplace(k, exact_trigger_function(master, support)).first->second;
+}
+
+}  // namespace plee::ee

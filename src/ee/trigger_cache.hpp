@@ -1,0 +1,51 @@
+// trigger_cache.hpp — memoization of exact trigger functions.
+//
+// The trigger of a support set depends only on the master's truth table and
+// the support mask — not on the netlist context — and a LUT4 master has only
+// 2^16 possible functions.  Real netlists reuse a small set of functions
+// (carry majorities, AND/OR trees, muxes), so a per-run memo turns the
+// 14-support-set sweep into table lookups after the first occurrence of each
+// function.  bench_micro quantifies the effect; the cached and uncached
+// searches are cross-checked in the tests.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bool/truth_table.hpp"
+
+namespace plee::ee {
+
+class trigger_cache {
+public:
+    /// Cached equivalent of exact_trigger_function(master, support).
+    const bf::truth_table& exact(const bf::truth_table& master,
+                                 std::uint32_t support);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return memo_.size(); }
+
+private:
+    struct key {
+        std::uint64_t bits;
+        std::uint32_t support;
+        int num_vars;
+        bool operator==(const key&) const = default;
+    };
+    struct key_hash {
+        std::size_t operator()(const key& k) const {
+            std::size_t h = static_cast<std::size_t>(k.bits * 0x9e3779b97f4a7c15ull);
+            h ^= (static_cast<std::size_t>(k.support) << 7) ^
+                 static_cast<std::size_t>(k.num_vars);
+            return h;
+        }
+    };
+
+    std::unordered_map<key, bf::truth_table, key_hash> memo_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace plee::ee

@@ -1,0 +1,178 @@
+#include "ee/trigger_search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "bool/support.hpp"
+#include "ee/trigger_cache.hpp"
+
+namespace plee::ee {
+
+namespace {
+
+/// Expands a compressed assignment of the support pins into a full-width
+/// minterm (non-support pins 0).
+std::uint32_t spread(std::uint32_t packed, const std::vector<int>& members) {
+    std::uint32_t full = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if ((packed >> i) & 1u) full |= 1u << members[i];
+    }
+    return full;
+}
+
+}  // namespace
+
+bf::truth_table exact_trigger_function(const bf::truth_table& master,
+                                       std::uint32_t support) {
+    const std::vector<int> members = bf::support_members(support);
+    const int k = static_cast<int>(members.size());
+    if (k == 0 || k >= master.num_vars()) {
+        throw std::invalid_argument("exact_trigger_function: support must be a "
+                                    "non-empty proper subset");
+    }
+    // Free (non-support) variables of the master.
+    std::vector<int> free_vars;
+    for (int v = 0; v < master.num_vars(); ++v) {
+        if (!(support & (1u << v))) free_vars.push_back(v);
+    }
+
+    bf::truth_table trig(k);
+    for (std::uint32_t a = 0; a < (1u << k); ++a) {
+        const std::uint32_t base = spread(a, members);
+        // Constant cofactor test: enumerate all completions of the free vars.
+        const bool first = master.eval(base);
+        bool constant = true;
+        for (std::uint32_t b = 1; b < (1u << free_vars.size()) && constant; ++b) {
+            std::uint32_t m = base;
+            for (std::size_t i = 0; i < free_vars.size(); ++i) {
+                if ((b >> i) & 1u) m |= 1u << free_vars[i];
+            }
+            constant = master.eval(m) == first;
+        }
+        if (constant) trig.set(a, true);
+    }
+    return trig;
+}
+
+bf::truth_table cube_list_trigger_function(const bf::truth_table& master,
+                                           const bf::on_off_cover& cover,
+                                           std::uint32_t support) {
+    const std::vector<int> members = bf::support_members(support);
+    const int k = static_cast<int>(members.size());
+    if (k == 0 || k >= master.num_vars()) {
+        throw std::invalid_argument("cube_list_trigger_function: support must be a "
+                                    "non-empty proper subset");
+    }
+
+    // "Since 2 cubes in Table 2 depend only upon master inputs a and b ...
+    // a coverage of 50% is computed for the trigger function": collect the
+    // cubes of both covers confined to the support and project them onto the
+    // support pins.
+    bf::truth_table trig(k);
+    auto absorb = [&](const bf::cube_list& cubes) {
+        const bf::cube_list confined = cubes.restricted_to_support(support);
+        for (const bf::cube& c : confined.cubes()) {
+            for (std::uint32_t a = 0; a < (1u << k); ++a) {
+                if (c.contains(spread(a, members))) trig.set(a, true);
+            }
+        }
+    };
+    absorb(cover.on);
+    absorb(cover.off);
+    return trig;
+}
+
+int covered_minterms(const bf::truth_table& master, std::uint32_t support,
+                     const bf::truth_table& trigger) {
+    const std::vector<int> members = bf::support_members(support);
+    if (trigger.num_vars() != static_cast<int>(members.size())) {
+        throw std::invalid_argument("covered_minterms: trigger arity != |support|");
+    }
+    int covered = 0;
+    for (std::uint32_t m = 0; m < master.num_minterms(); ++m) {
+        std::uint32_t packed = 0;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if ((m >> members[i]) & 1u) packed |= 1u << i;
+        }
+        if (trigger.eval(packed)) ++covered;
+    }
+    return covered;
+}
+
+double equation1_cost(double coverage_percent, int master_max_arrival,
+                      int trigger_max_arrival) {
+    return coverage_percent * (static_cast<double>(master_max_arrival) + 1.0) /
+           (static_cast<double>(trigger_max_arrival) + 1.0);
+}
+
+search_result find_best_trigger(const bf::truth_table& master,
+                                const std::vector<int>& pin_arrivals,
+                                const search_options& options,
+                                trigger_cache* cache) {
+    if (static_cast<int>(pin_arrivals.size()) != master.num_vars()) {
+        throw std::invalid_argument("find_best_trigger: arrival count != arity");
+    }
+    search_result result;
+    if (master.num_vars() < 2 || master.is_constant()) return result;
+
+    const std::uint32_t all_pins = (1u << master.num_vars()) - 1;
+    int master_max_arrival = 0;
+    for (int a : pin_arrivals) master_max_arrival = std::max(master_max_arrival, a);
+
+    // The cube covers are shared across all 14 support sets.
+    std::optional<bf::on_off_cover> cover;
+    if (options.method == trigger_method::cube_list) {
+        cover = bf::make_on_off_cover(master);
+    }
+
+    for (std::uint32_t support :
+         bf::enumerate_support_subsets(all_pins, options.max_support_size)) {
+        trigger_candidate cand;
+        cand.support = support;
+        if (options.method == trigger_method::exact) {
+            cand.function = cache != nullptr ? cache->exact(master, support)
+                                             : exact_trigger_function(master, support);
+        } else {
+            cand.function = cube_list_trigger_function(master, *cover, support);
+        }
+        if (cand.function.is_constant_zero()) continue;
+
+        cand.covered_minterms = covered_minterms(master, support, cand.function);
+        cand.coverage_percent =
+            100.0 * cand.covered_minterms / static_cast<double>(master.num_minterms());
+        // Full coverage means the master never needed the other inputs at
+        // all — a synthesis artifact, not an Early Evaluation opportunity.
+        if (cand.covered_minterms == static_cast<int>(master.num_minterms())) continue;
+
+        cand.master_max_arrival = master_max_arrival;
+        cand.trigger_max_arrival = 0;
+        for (int v : bf::support_members(support)) {
+            cand.trigger_max_arrival =
+                std::max(cand.trigger_max_arrival, pin_arrivals[static_cast<std::size_t>(v)]);
+        }
+        cand.cost = options.weight_by_arrival
+                        ? equation1_cost(cand.coverage_percent,
+                                         cand.master_max_arrival,
+                                         cand.trigger_max_arrival)
+                        : cand.coverage_percent;
+        result.all.push_back(cand);
+
+        if (options.require_arrival_gain &&
+            cand.trigger_max_arrival >= cand.master_max_arrival) {
+            continue;  // recorded for diagnostics, never implemented
+        }
+        if (cand.cost <= options.cost_threshold) continue;
+
+        const bool better =
+            !result.best || cand.cost > result.best->cost ||
+            (cand.cost == result.best->cost &&
+             (cand.covered_minterms > result.best->covered_minterms ||
+              (cand.covered_minterms == result.best->covered_minterms &&
+               std::popcount(cand.support) < std::popcount(result.best->support))));
+        if (better) result.best = cand;
+    }
+    return result;
+}
+
+}  // namespace plee::ee

@@ -1,0 +1,263 @@
+#include "netlist/blif.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "bool/cube_list.hpp"
+
+namespace plee::nl {
+
+namespace {
+
+std::string net_name(const netlist& nl, cell_id id) {
+    const cell& c = nl.at(id);
+    if (!c.name.empty() && c.kind != cell_kind::output) return c.name;
+    return "n" + std::to_string(id);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) tokens.push_back(tok);
+    return tokens;
+}
+
+}  // namespace
+
+std::string to_blif(const netlist& nl, const std::string& model_name) {
+    nl.validate();
+    std::ostringstream os;
+    os << ".model " << model_name << "\n.inputs";
+    for (cell_id id : nl.inputs()) os << " " << net_name(nl, id);
+    os << "\n.outputs";
+    for (cell_id id : nl.outputs()) os << " " << nl.at(id).name;
+    os << "\n";
+
+    for (cell_id id = 0; id < nl.num_cells(); ++id) {
+        const cell& c = nl.at(id);
+        switch (c.kind) {
+            case cell_kind::constant:
+                os << ".names " << net_name(nl, id) << "\n";
+                if (c.const_value) os << "1\n";
+                break;
+            case cell_kind::lut: {
+                os << ".names";
+                for (cell_id f : c.fanins) os << " " << net_name(nl, f);
+                os << " " << net_name(nl, id) << "\n";
+                // Irredundant ON-set cover via the shared QM engine.
+                const bf::cube_list cover = bf::isop_cover(c.function);
+                for (const bf::cube& cube : cover.cubes()) {
+                    os << cube.to_string(c.function.num_vars()) << " 1\n";
+                }
+                break;
+            }
+            case cell_kind::dff:
+                os << ".latch " << net_name(nl, c.fanins.front()) << " "
+                   << net_name(nl, id) << " re clk " << (c.init_value ? 1 : 0)
+                   << "\n";
+                break;
+            case cell_kind::input:
+            case cell_kind::output:
+                break;
+        }
+    }
+    // Output ports that rename an internal net become buffers.
+    for (cell_id id : nl.outputs()) {
+        const cell_id src = nl.at(id).fanins.front();
+        if (net_name(nl, src) != nl.at(id).name) {
+            os << ".names " << net_name(nl, src) << " " << nl.at(id).name << "\n1 1\n";
+        }
+    }
+    os << ".end\n";
+    return os.str();
+}
+
+netlist from_blif(std::istream& in) {
+    struct names_block {
+        std::vector<std::string> inputs;
+        std::string output;
+        std::vector<std::pair<std::string, char>> rows;  // cover row + out char
+        int line = 0;
+    };
+    struct latch_block {
+        std::string input;
+        std::string output;
+        bool init = false;
+    };
+
+    std::vector<std::string> input_ports;
+    std::vector<std::string> output_ports;
+    std::vector<names_block> names;
+    std::vector<latch_block> latches;
+
+    auto fail = [](int line, const std::string& what) {
+        throw std::runtime_error("BLIF line " + std::to_string(line) + ": " + what);
+    };
+
+    // --- Lexing/parsing ------------------------------------------------------
+    std::string raw;
+    int line_no = 0;
+    bool in_model = false;
+    bool ended = false;
+    names_block* current = nullptr;
+    std::string pending;  // handles '\' continuations
+    while (std::getline(in, raw) && !ended) {
+        ++line_no;
+        if (const auto hash = raw.find('#'); hash != std::string::npos) {
+            raw.erase(hash);
+        }
+        if (!raw.empty() && raw.back() == '\\') {
+            pending += raw.substr(0, raw.size() - 1) + " ";
+            continue;
+        }
+        const std::string line = pending + raw;
+        pending.clear();
+        const std::vector<std::string> tok = tokenize(line);
+        if (tok.empty()) continue;
+
+        if (tok[0] == ".model") {
+            if (in_model) fail(line_no, "nested .model");
+            in_model = true;
+            current = nullptr;
+        } else if (tok[0] == ".inputs") {
+            input_ports.insert(input_ports.end(), tok.begin() + 1, tok.end());
+            current = nullptr;
+        } else if (tok[0] == ".outputs") {
+            output_ports.insert(output_ports.end(), tok.begin() + 1, tok.end());
+            current = nullptr;
+        } else if (tok[0] == ".names") {
+            if (tok.size() < 2) fail(line_no, ".names needs an output");
+            names_block b;
+            b.inputs.assign(tok.begin() + 1, tok.end() - 1);
+            b.output = tok.back();
+            b.line = line_no;
+            names.push_back(std::move(b));
+            current = &names.back();
+        } else if (tok[0] == ".latch") {
+            if (tok.size() < 3) fail(line_no, ".latch needs input and output");
+            latch_block l;
+            l.input = tok[1];
+            l.output = tok[2];
+            // Optional: <type> <control> <init>; init may also follow directly.
+            const std::string& last = tok.back();
+            if (tok.size() > 3 && (last == "0" || last == "1" || last == "2" ||
+                                   last == "3")) {
+                l.init = last == "1";
+            }
+            latches.push_back(std::move(l));
+            current = nullptr;
+        } else if (tok[0] == ".end") {
+            ended = true;
+        } else if (tok[0][0] == '.') {
+            current = nullptr;  // unsupported directive: skip (e.g. .clock)
+        } else {
+            if (current == nullptr) fail(line_no, "cover row outside .names");
+            if (current->inputs.empty()) {
+                // Constant block: a row "1" (or "0") with no input columns.
+                if (tok.size() != 1 || (tok[0] != "1" && tok[0] != "0")) {
+                    fail(line_no, "bad constant row");
+                }
+                current->rows.emplace_back("", tok[0][0]);
+            } else {
+                if (tok.size() != 2) fail(line_no, "cover row needs <mask> <value>");
+                if (tok[0].size() != current->inputs.size()) {
+                    fail(line_no, "cover row width != fanin count");
+                }
+                if (tok[1] != "0" && tok[1] != "1") fail(line_no, "bad output value");
+                current->rows.emplace_back(tok[0], tok[1][0]);
+            }
+        }
+    }
+    if (!in_model) throw std::runtime_error("BLIF: no .model found");
+
+    // --- Building ---------------------------------------------------------------
+    netlist out;
+    std::map<std::string, cell_id> net;  // driver of each named net
+
+    for (const std::string& port : input_ports) {
+        if (net.count(port)) throw std::runtime_error("duplicate input " + port);
+        net.emplace(port, out.add_input(port));
+    }
+    for (const latch_block& l : latches) {
+        if (net.count(l.output)) {
+            throw std::runtime_error("net driven twice: " + l.output);
+        }
+        net.emplace(l.output, out.add_dff(k_invalid_cell, l.init, l.output));
+    }
+
+    // .names blocks may reference each other in any order: resolve by
+    // repeated sweeps (the dependency graph is a DAG for valid BLIF).
+    std::vector<bool> built(names.size(), false);
+    std::size_t remaining = names.size();
+    while (remaining > 0) {
+        bool progress = false;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (built[i]) continue;
+            const names_block& b = names[i];
+            bool ready = true;
+            for (const std::string& dep : b.inputs) {
+                if (!net.count(dep)) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) continue;
+
+            cell_id id = k_invalid_cell;
+            if (b.inputs.empty()) {
+                bool value = false;
+                for (const auto& [mask, v] : b.rows) value = value || v == '1';
+                id = out.add_constant(value);
+            } else {
+                const int arity = static_cast<int>(b.inputs.size());
+                if (arity > bf::k_max_vars) {
+                    fail(b.line, "LUT wider than 6 inputs unsupported");
+                }
+                // Rows are either all ON-set or all OFF-set per BLIF rules.
+                bf::cube_list cover(arity);
+                char polarity = '1';
+                for (const auto& [mask, v] : b.rows) {
+                    polarity = v;
+                    cover.add(bf::cube::from_string(mask));
+                }
+                bf::truth_table fn = cover.to_truth_table();
+                if (polarity == '0') fn = ~fn;
+                std::vector<cell_id> fanins;
+                for (const std::string& dep : b.inputs) fanins.push_back(net.at(dep));
+                id = out.add_lut(fn, std::move(fanins));
+            }
+            if (net.count(b.output)) fail(b.line, "net driven twice: " + b.output);
+            net.emplace(b.output, id);
+            built[i] = true;
+            --remaining;
+            progress = true;
+        }
+        if (!progress) {
+            throw std::runtime_error("BLIF: unresolvable (cyclic or undriven) .names");
+        }
+    }
+
+    for (const latch_block& l : latches) {
+        auto it = net.find(l.input);
+        if (it == net.end()) throw std::runtime_error("latch input undriven: " + l.input);
+        out.set_dff_input(net.at(l.output), it->second);
+    }
+    for (const std::string& port : output_ports) {
+        auto it = net.find(port);
+        if (it == net.end()) throw std::runtime_error("output undriven: " + port);
+        out.add_output(port, it->second);
+    }
+
+    out.validate();
+    return out;
+}
+
+netlist from_blif_string(const std::string& text) {
+    std::istringstream is(text);
+    return from_blif(is);
+}
+
+}  // namespace plee::nl

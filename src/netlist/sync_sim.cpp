@@ -1,0 +1,90 @@
+#include "netlist/sync_sim.hpp"
+
+#include <stdexcept>
+
+namespace plee::nl {
+
+sync_simulator::sync_simulator(const netlist& nl)
+    : nl_(nl), order_(nl.topo_order()), values_(nl.num_cells(), 0),
+      state_(nl.num_cells(), 0) {
+    reset();
+}
+
+void sync_simulator::reset() {
+    std::fill(values_.begin(), values_.end(), 0);
+    std::fill(state_.begin(), state_.end(), 0);
+    for (cell_id id : nl_.dffs()) state_[id] = nl_.at(id).init_value ? 1 : 0;
+}
+
+void sync_simulator::set_input(cell_id input, bool value) {
+    if (nl_.at(input).kind != cell_kind::input) {
+        throw std::invalid_argument("set_input: cell is not a primary input");
+    }
+    values_[input] = value ? 1 : 0;
+}
+
+void sync_simulator::set_input(const std::string& name, bool value) {
+    for (cell_id id : nl_.inputs()) {
+        if (nl_.at(id).name == name) {
+            values_[id] = value ? 1 : 0;
+            return;
+        }
+    }
+    throw std::invalid_argument("set_input: no input named '" + name + "'");
+}
+
+void sync_simulator::set_inputs(const std::vector<bool>& values) {
+    if (values.size() != nl_.inputs().size()) {
+        throw std::invalid_argument("set_inputs: value count != input count");
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        values_[nl_.inputs()[i]] = values[i] ? 1 : 0;
+    }
+}
+
+void sync_simulator::eval() {
+    for (cell_id id : order_) {
+        const cell& c = nl_.at(id);
+        switch (c.kind) {
+            case cell_kind::input:
+                break;  // externally driven
+            case cell_kind::constant:
+                values_[id] = c.const_value ? 1 : 0;
+                break;
+            case cell_kind::dff:
+                values_[id] = state_[id];
+                break;
+            case cell_kind::lut: {
+                std::uint32_t minterm = 0;
+                for (std::size_t i = 0; i < c.fanins.size(); ++i) {
+                    if (values_[c.fanins[i]]) minterm |= 1u << i;
+                }
+                values_[id] = c.function.eval(minterm) ? 1 : 0;
+                break;
+            }
+            case cell_kind::output:
+                values_[id] = values_[c.fanins.front()];
+                break;
+        }
+    }
+}
+
+std::vector<bool> sync_simulator::output_values() const {
+    std::vector<bool> out;
+    out.reserve(nl_.outputs().size());
+    for (cell_id id : nl_.outputs()) out.push_back(values_[id] != 0);
+    return out;
+}
+
+void sync_simulator::step() {
+    eval();
+    for (cell_id id : nl_.dffs()) state_[id] = values_[nl_.at(id).fanins.front()];
+}
+
+std::vector<bool> sync_simulator::cycle(const std::vector<bool>& inputs) {
+    set_inputs(inputs);
+    step();
+    return output_values();
+}
+
+}  // namespace plee::nl

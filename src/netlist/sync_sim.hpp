@@ -1,0 +1,55 @@
+// sync_sim.hpp — cycle-accurate synchronous reference simulator.
+//
+// A PL circuit produced by direct mapping is cycle-equivalent to its
+// synchronous source: every PL gate fires exactly once per "wave" of tokens,
+// registers advance one state per wave, and the values carried by tokens in
+// wave k equal the synchronous wire values in clock cycle k.  This simulator
+// provides the golden semantics that the phased-logic event simulator (with
+// and without Early Evaluation) is tested against, cycle by cycle.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace plee::nl {
+
+class sync_simulator {
+public:
+    explicit sync_simulator(const netlist& nl);
+
+    /// Resets all DFFs to their initial values and clears inputs to 0.
+    void reset();
+
+    void set_input(cell_id input, bool value);
+    void set_input(const std::string& name, bool value);
+    /// Assigns all primary inputs in netlist input order.
+    void set_inputs(const std::vector<bool>& values);
+
+    /// Propagates combinational logic for the current inputs and DFF states.
+    void eval();
+
+    /// The value on the net driven by `id` after the last eval().
+    bool value_of(cell_id id) const { return values_[id]; }
+
+    /// Primary output values, in netlist output order, after the last eval().
+    std::vector<bool> output_values() const;
+
+    /// eval() followed by a clock edge (DFF states <= D values).
+    void step();
+
+    /// Convenience: applies `inputs`, runs one full cycle and returns the
+    /// output values observed *before* the clock edge.
+    std::vector<bool> cycle(const std::vector<bool>& inputs);
+
+private:
+    const netlist& nl_;
+    std::vector<cell_id> order_;
+    std::vector<char> values_;  // char, not bool: avoids bitset proxy churn
+    std::vector<char> state_;   // DFF state, indexed by cell id
+};
+
+}  // namespace plee::nl

@@ -1,0 +1,196 @@
+#include "netlist/transform.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace plee::nl {
+
+namespace {
+
+/// Constant knowledge about the net driven by each old cell.
+struct net_fact {
+    bool is_const = false;
+    bool value = false;
+};
+
+}  // namespace
+
+cleanup_result cleanup(const netlist& src) {
+    cleanup_result result;
+    cleanup_stats& stats = result.stats;
+
+    const std::vector<cell_id> order = src.topo_order();
+
+    // --- Pass 1: forward constant analysis over one combinational frame.
+    // DFF outputs are unknown (state), inputs are unknown, constants known.
+    std::vector<net_fact> facts(src.num_cells());
+    // Per-LUT simplified function and live fanins after constant insertion
+    // and support trimming.
+    std::vector<bf::truth_table> simple_fn(src.num_cells(), bf::truth_table(0));
+    std::vector<std::vector<cell_id>> simple_fanins(src.num_cells());
+
+    for (cell_id id : order) {
+        const cell& c = src.at(id);
+        if (c.kind == cell_kind::constant) {
+            facts[id] = {true, c.const_value};
+            continue;
+        }
+        if (c.kind != cell_kind::lut) continue;
+
+        // Substitute constant fanins by cofactoring.
+        bf::truth_table fn = c.function;
+        for (int i = 0; i < static_cast<int>(c.fanins.size()); ++i) {
+            const net_fact& f = facts[c.fanins[static_cast<std::size_t>(i)]];
+            if (f.is_const) fn = fn.cofactor(i, f.value);
+        }
+        // Drop vacuous variables (constant-substituted ones and any the
+        // original function never depended on).
+        const std::uint32_t support = fn.support_mask();
+        std::vector<cell_id> live;
+        std::vector<int> live_pos;
+        for (int i = 0; i < static_cast<int>(c.fanins.size()); ++i) {
+            if (support & (1u << i)) {
+                live.push_back(c.fanins[static_cast<std::size_t>(i)]);
+                live_pos.push_back(i);
+            }
+        }
+        stats.trimmed_fanins += c.fanins.size() - live.size();
+
+        if (live.empty()) {
+            facts[id] = {true, fn.eval(0)};
+            ++stats.folded_constants;
+            continue;
+        }
+
+        // Compress the function onto the live variables.
+        const int k = static_cast<int>(live.size());
+        bf::truth_table packed = bf::truth_table::from_function(
+            k, [&](std::uint32_t m) {
+                std::uint32_t full = 0;
+                for (int i = 0; i < k; ++i) {
+                    if ((m >> i) & 1u) full |= 1u << live_pos[static_cast<std::size_t>(i)];
+                }
+                return fn.eval(full);
+            });
+        simple_fn[id] = packed;
+        simple_fanins[id] = std::move(live);
+    }
+
+    // --- Pass 2: liveness sweep.  A cell is live when a primary output
+    // depends on it (through LUTs and DFF D-inputs).  Primary inputs are
+    // always kept: they are part of the module interface.
+    std::vector<char> live_cell(src.num_cells(), 0);
+    std::vector<cell_id> worklist;
+    for (cell_id id : src.outputs()) {
+        live_cell[id] = 1;
+        worklist.push_back(id);
+    }
+    while (!worklist.empty()) {
+        const cell_id id = worklist.back();
+        worklist.pop_back();
+        const cell& c = src.at(id);
+        // For simplified LUTs, only the live fanins matter.
+        const std::vector<cell_id>& fanins =
+            (c.kind == cell_kind::lut && !facts[id].is_const) ? simple_fanins[id]
+                                                              : c.fanins;
+        if (c.kind == cell_kind::lut && facts[id].is_const) continue;
+        for (cell_id f : fanins) {
+            if (f != k_invalid_cell && !live_cell[f]) {
+                live_cell[f] = 1;
+                worklist.push_back(f);
+            }
+        }
+    }
+    for (cell_id id : src.inputs()) live_cell[id] = 1;
+
+    // --- Pass 3: rebuild.
+    netlist& out = result.nl;
+    result.remap.assign(src.num_cells(), k_invalid_cell);
+    std::optional<cell_id> const_cells[2];
+    auto materialize_const = [&](bool v) {
+        auto& slot = const_cells[v ? 1 : 0];
+        if (!slot) slot = out.add_constant(v);
+        return *slot;
+    };
+
+    // DFFs first so that feedback through registers can be wired afterwards.
+    for (cell_id id : src.dffs()) {
+        if (!live_cell[id]) {
+            ++stats.swept_cells;
+            continue;
+        }
+        result.remap[id] = out.add_dff(k_invalid_cell, src.at(id).init_value,
+                                       src.at(id).name);
+    }
+    for (cell_id id : order) {
+        const cell& c = src.at(id);
+        if (!live_cell[id] && c.kind != cell_kind::input) {
+            if (c.kind != cell_kind::dff) ++stats.swept_cells;
+            continue;
+        }
+        switch (c.kind) {
+            case cell_kind::input:
+                result.remap[id] = out.add_input(c.name);
+                break;
+            case cell_kind::constant:
+                result.remap[id] = materialize_const(c.const_value);
+                break;
+            case cell_kind::lut: {
+                if (facts[id].is_const) {
+                    result.remap[id] = materialize_const(facts[id].value);
+                    break;
+                }
+                std::vector<cell_id> fanins;
+                fanins.reserve(simple_fanins[id].size());
+                for (cell_id f : simple_fanins[id]) {
+                    if (result.remap[f] == k_invalid_cell) {
+                        throw std::logic_error("cleanup: fanin not yet rebuilt");
+                    }
+                    fanins.push_back(result.remap[f]);
+                }
+                // A LUT that degenerated to the identity is just a wire.
+                if (fanins.size() == 1 &&
+                    simple_fn[id] == bf::truth_table::variable(1, 0)) {
+                    result.remap[id] = fanins.front();
+                    break;
+                }
+                result.remap[id] = out.add_lut(simple_fn[id], std::move(fanins), c.name);
+                break;
+            }
+            case cell_kind::dff:
+            case cell_kind::output:
+                break;  // handled separately
+        }
+    }
+    for (cell_id id : src.dffs()) {
+        if (result.remap[id] == k_invalid_cell) continue;
+        const cell_id old_d = src.at(id).fanins.front();
+        cell_id new_d = result.remap[old_d];
+        if (new_d == k_invalid_cell) {
+            // D was folded to a constant or swept; re-materialize constants.
+            if (facts[old_d].is_const) {
+                new_d = materialize_const(facts[old_d].value);
+            } else {
+                throw std::logic_error("cleanup: DFF input lost during rebuild");
+            }
+        }
+        out.set_dff_input(result.remap[id], new_d);
+    }
+    for (cell_id id : src.outputs()) {
+        const cell_id old_src = src.at(id).fanins.front();
+        cell_id new_src = result.remap[old_src];
+        if (new_src == k_invalid_cell) {
+            if (facts[old_src].is_const) {
+                new_src = materialize_const(facts[old_src].value);
+            } else {
+                throw std::logic_error("cleanup: output source lost during rebuild");
+            }
+        }
+        result.remap[id] = out.add_output(src.at(id).name, new_src);
+    }
+
+    out.validate();
+    return result;
+}
+
+}  // namespace plee::nl

@@ -1,0 +1,37 @@
+// transform.hpp — netlist cleanup passes run before Phased Logic mapping.
+//
+// The PL mapper consumes netlists where every LUT fanin is live (a vacuous
+// fanin would make a 100%-coverage "trigger" trivially available, which is a
+// synthesis artifact rather than Early Evaluation) and where constants have
+// been folded into LUT masks wherever possible.  These passes normalize the
+// output of the technology mapper accordingly.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace plee::nl {
+
+struct cleanup_stats {
+    std::size_t folded_constants = 0;   ///< LUTs that became constants
+    std::size_t trimmed_fanins = 0;     ///< vacuous fanin connections removed
+    std::size_t swept_cells = 0;        ///< dead cells removed
+};
+
+struct cleanup_result {
+    netlist nl;
+    /// old cell id -> new cell id, or k_invalid_cell when removed.  Constant-
+    /// valued cells map to a shared constant cell in the new netlist.
+    std::vector<cell_id> remap;
+    cleanup_stats stats;
+};
+
+/// Runs constant propagation, vacuous-fanin trimming and a dead-cell sweep,
+/// producing a fresh netlist.  Port names and DFF initial values survive.
+/// The result validates and computes the same input/output function.
+cleanup_result cleanup(const netlist& src);
+
+}  // namespace plee::nl

@@ -1,0 +1,46 @@
+#include "plogic/ledr.hpp"
+
+#include <vector>
+
+namespace plee::pl {
+
+const char* to_string(phase p) { return p == phase::even ? "even" : "odd"; }
+
+ledr_signal ledr_signal::next_token(bool value) const {
+    ledr_signal n;
+    n.v = value;
+    // Phase must flip; t is chosen so that exactly one rail toggles.
+    const phase target = opposite(signal_phase());
+    n.t = (target == phase::odd) ? !n.v : n.v;
+    return n;
+}
+
+int ledr_signal::hamming(const ledr_signal& a, const ledr_signal& b) {
+    return static_cast<int>(a.v != b.v) + static_cast<int>(a.t != b.t);
+}
+
+std::string ledr_signal::to_string() const {
+    std::string s = "(v=";
+    s += v ? '1' : '0';
+    s += ",t=";
+    s += t ? '1' : '0';
+    s += ",";
+    s += plee::pl::to_string(signal_phase());
+    s += ")";
+    return s;
+}
+
+bool muller_c::update(const std::vector<bool>& inputs) {
+    if (inputs.empty()) return state_;
+    bool all_one = true;
+    bool all_zero = true;
+    for (bool b : inputs) {
+        all_one = all_one && b;
+        all_zero = all_zero && !b;
+    }
+    if (all_one) state_ = true;
+    if (all_zero) state_ = false;
+    return state_;
+}
+
+}  // namespace plee::pl

@@ -1,0 +1,67 @@
+// ledr.hpp — Level-Encoded Dual-Rail (LEDR) signal encoding.
+//
+// "A data token is represented by a dual-rail signal that uses LEDR encoding"
+// (Section 2).  A LEDR signal is a pair (v, t): v carries the logic value as
+// in a single-rail system, and the phase of the token is p = v XOR t.
+// Successive tokens on a wire alternate between even (p = 0) and odd (p = 1)
+// phase; because exactly one of {v, t} toggles per new token, the encoding is
+// glitch-free across value changes — the property that makes PL circuits
+// delay-insensitive.
+//
+// The event simulator works at the token level; this module provides the
+// physical-encoding view used by the gate-structure demos (Figure 1) and the
+// equivalence tests between the two views.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plee::pl {
+
+enum class phase : unsigned char { even = 0, odd = 1 };
+
+inline phase opposite(phase p) { return p == phase::even ? phase::odd : phase::even; }
+
+const char* to_string(phase p);
+
+/// One LEDR-encoded wire state.
+struct ledr_signal {
+    bool v = false;  ///< logic value rail
+    bool t = false;  ///< timing rail
+
+    /// Token phase: p = v XOR t ("p = 1 denoting odd phase").
+    phase signal_phase() const { return (v != t) ? phase::odd : phase::even; }
+
+    /// Encodes the next token carrying `value`.  Exactly one rail toggles:
+    /// the value rail if the value changes, otherwise the timing rail — so
+    /// the phase always flips and the transition is single-rail.
+    ledr_signal next_token(bool value) const;
+
+    /// Number of rails that differ between two states (for the
+    /// delay-insensitivity property tests).
+    static int hamming(const ledr_signal& a, const ledr_signal& b);
+
+    bool operator==(const ledr_signal&) const = default;
+
+    std::string to_string() const;
+};
+
+/// Behavioural n-input Muller C-element: output switches to the common input
+/// value when all inputs agree, otherwise holds state.  This is the
+/// completion-detection primitive of the PL gate (Figure 1) and of the extra
+/// control pair in an EE gate (Figure 2).
+class muller_c {
+public:
+    explicit muller_c(bool initial = false) : state_(initial) {}
+
+    /// Presents an input vector; returns the (possibly updated) output.
+    bool update(const std::vector<bool>& inputs);
+
+    bool output() const { return state_; }
+
+private:
+    bool state_;
+};
+
+}  // namespace plee::pl

@@ -1,0 +1,63 @@
+// ledr_sim.hpp — structural simulation at the physical LEDR encoding level.
+//
+// The token-level event simulator (sim/pl_sim.hpp) treats a PL netlist as a
+// marked graph.  This module simulates the same netlist the way the silicon
+// of Figure 1 does:
+//   * every data wire holds a Level-Encoded Dual-Rail state (v, t) whose
+//     phase p = v XOR t alternates with each new token;
+//   * every gate owns a phase bit (the Muller-C element output) and fires
+//     when all of its data inputs carry the phase the gate awaits and all of
+//     its acknowledge inputs confirm the consumers have caught up;
+//   * firing latches the LUT output into the wire's v/t latches (exactly one
+//     rail toggles), toggles the gate phase and toggles the gate's
+//     acknowledge (fi/fo) outputs.
+//
+// The simulator is deliberately untimed and order-insensitive: gates are
+// fired in arbitrary scan order until quiescent, which demonstrates the
+// delay-insensitivity claim — any firing order yields the same per-wave
+// output words.  Equivalence with both the synchronous golden model and the
+// token-level simulator is established in the test suite.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plogic/ledr.hpp"
+#include "plogic/pl_netlist.hpp"
+
+namespace plee::pl {
+
+class ledr_simulator {
+public:
+    /// `scan_seed` permutes the gate scan order; any seed must produce the
+    /// same outputs (delay-insensitivity), which the tests assert.
+    explicit ledr_simulator(const pl_netlist& pl, std::uint64_t scan_seed = 0);
+
+    /// Runs `vectors.size()` waves; vectors[k] holds the wave-k value of
+    /// each primary input in pl.sources() order.  Returns one output word
+    /// (sink order) per wave.  Throws std::runtime_error on deadlock.
+    std::vector<std::vector<bool>> run(const std::vector<std::vector<bool>>& vectors);
+
+    /// Total gate firings of the last run (every PL gate fires once per wave).
+    std::uint64_t firings() const { return firings_; }
+
+private:
+    bool enabled(gate_id g) const;
+    void fire(gate_id g);
+
+    const pl_netlist& pl_;
+    std::vector<gate_id> scan_order_;
+
+    // Physical state.
+    std::vector<ledr_signal> wire_;     ///< per data edge: LEDR latch state
+    std::vector<char> wire_full_;       ///< per data edge: holds an unconsumed token
+    std::vector<char> ack_state_;       ///< per ack edge: toggle wire level
+    std::vector<char> gate_phase_;      ///< per gate: Muller-C phase bit
+    std::vector<std::uint32_t> fired_;  ///< per gate: completed firings
+
+    const std::vector<std::vector<bool>>* vectors_ = nullptr;
+    std::uint64_t firings_ = 0;
+};
+
+}  // namespace plee::pl

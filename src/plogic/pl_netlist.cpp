@@ -1,0 +1,228 @@
+#include "plogic/pl_netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bool/support.hpp"
+
+namespace plee::pl {
+
+const char* to_string(gate_kind kind) {
+    switch (kind) {
+        case gate_kind::source: return "source";
+        case gate_kind::const_source: return "const";
+        case gate_kind::sink: return "sink";
+        case gate_kind::compute: return "compute";
+        case gate_kind::through: return "through";
+        case gate_kind::trigger: return "trigger";
+    }
+    return "?";
+}
+
+gate_id pl_netlist::add_gate(gate_kind kind, std::string name) {
+    pl_gate g;
+    g.kind = kind;
+    g.name = std::move(name);
+    gates_.push_back(std::move(g));
+    const gate_id id = static_cast<gate_id>(gates_.size() - 1);
+    if (kind == gate_kind::source) sources_.push_back(id);
+    if (kind == gate_kind::sink) sinks_.push_back(id);
+    return id;
+}
+
+void pl_netlist::set_function(gate_id g, const bf::truth_table& fn) {
+    if (gates_[g].kind != gate_kind::compute && gates_[g].kind != gate_kind::trigger) {
+        throw std::invalid_argument("set_function: gate has no LUT");
+    }
+    gates_[g].function = fn;
+}
+
+void pl_netlist::set_const_value(gate_id g, bool value) {
+    if (gates_[g].kind != gate_kind::const_source) {
+        throw std::invalid_argument("set_const_value: not a constant source");
+    }
+    gates_[g].const_value = value;
+}
+
+edge_id pl_netlist::add_data_edge(gate_id from, gate_id to, int to_pin,
+                                  bool init_token, bool init_value) {
+    if (from >= gates_.size() || to >= gates_.size()) {
+        throw std::invalid_argument("add_data_edge: gate out of range");
+    }
+    pl_edge e;
+    e.from = from;
+    e.to = to;
+    e.kind = edge_kind::data;
+    e.to_pin = to_pin;
+    e.init_token = init_token;
+    e.init_value = init_value;
+    edges_.push_back(e);
+    const edge_id id = static_cast<edge_id>(edges_.size() - 1);
+    gates_[from].out_edges.push_back(id);
+    gates_[to].in_edges.push_back(id);
+    if (to_pin >= 0) {
+        auto& pins = gates_[to].data_in;
+        if (to_pin != static_cast<int>(pins.size())) {
+            throw std::invalid_argument("add_data_edge: pins must arrive in order");
+        }
+        pins.push_back(id);
+    }
+    return id;
+}
+
+edge_id pl_netlist::add_ack_edge(gate_id from, gate_id to, bool init_token) {
+    if (from >= gates_.size() || to >= gates_.size()) {
+        throw std::invalid_argument("add_ack_edge: gate out of range");
+    }
+    pl_edge e;
+    e.from = from;
+    e.to = to;
+    e.kind = edge_kind::ack;
+    e.init_token = init_token;
+    edges_.push_back(e);
+    const edge_id id = static_cast<edge_id>(edges_.size() - 1);
+    gates_[from].out_edges.push_back(id);
+    gates_[to].in_edges.push_back(id);
+    return id;
+}
+
+gate_id pl_netlist::attach_trigger(gate_id master, const bf::truth_table& fn,
+                                   std::uint32_t support_mask) {
+    pl_gate& m = gates_[master];
+    if (m.kind != gate_kind::compute) {
+        throw std::invalid_argument("attach_trigger: master must be a compute gate");
+    }
+    if (m.trigger != k_invalid_gate) {
+        throw std::logic_error("attach_trigger: master already has a trigger");
+    }
+    const std::vector<int> pins = bf::support_members(support_mask);
+    if (fn.num_vars() != static_cast<int>(pins.size())) {
+        throw std::invalid_argument("attach_trigger: function arity != support size");
+    }
+
+    const gate_id trig = add_gate(gate_kind::trigger, m.name.empty()
+                                                          ? "ee"
+                                                          : m.name + "_ee");
+    gates_[trig].function = fn;
+    gates_[trig].master = master;
+    gates_[trig].trigger_support = support_mask;
+
+    // Tap the master's selected input signals: a new data fanout edge from
+    // each producer, plus the acknowledge feedback that keeps the new edge on
+    // a single-token cycle.
+    int pin = 0;
+    for (int master_pin : pins) {
+        const pl_edge& src_edge = edges_[gates_[master].data_in[static_cast<std::size_t>(master_pin)]];
+        const gate_id producer = src_edge.from;
+        add_data_edge(producer, trig, pin++, src_edge.init_token, src_edge.init_value);
+        add_ack_edge(trig, producer, !src_edge.init_token);
+    }
+
+    // The efire channel: trigger -> master data token each wave, acknowledged
+    // by the master (the extra Muller-C element pair of Figure 2).
+    const edge_id efire = add_data_edge(trig, master, -1, false, false);
+    add_ack_edge(master, trig, true);
+
+    gates_[master].trigger = trig;
+    gates_[master].efire_in = efire;
+    return trig;
+}
+
+std::size_t pl_netlist::num_pl_gates() const {
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(), [](const pl_gate& g) {
+            return g.kind == gate_kind::compute || g.kind == gate_kind::through;
+        }));
+}
+
+std::size_t pl_netlist::num_trigger_gates() const {
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [](const pl_gate& g) { return g.kind == gate_kind::trigger; }));
+}
+
+std::size_t pl_netlist::num_ack_edges() const {
+    return static_cast<std::size_t>(
+        std::count_if(edges_.begin(), edges_.end(),
+                      [](const pl_edge& e) { return e.kind == edge_kind::ack; }));
+}
+
+marked_graph pl_netlist::to_marked_graph() const {
+    marked_graph mg(gates_.size());
+    for (const pl_edge& e : edges_) {
+        mg.add_edge(e.from, e.to, e.init_token ? 1 : 0);
+    }
+    return mg;
+}
+
+mg_report pl_netlist::verify() const { return to_marked_graph().verify(); }
+
+std::vector<int> pl_netlist::arrival_depth() const {
+    // Longest path over token-free data edges.  depth[g] is the arrival
+    // depth of g's *output* signal: 0 for token-providing gates (sources,
+    // constant sources, through registers), 1 + max(producer depths) for
+    // compute/trigger gates.  Non-compute producers contribute 0, so only
+    // compute->consumer edges constrain the processing order.
+    std::vector<int> in_depth(gates_.size(), 0);
+    std::vector<int> depth(gates_.size(), 0);
+    std::vector<int> indeg(gates_.size(), 0);
+    auto is_gate = [this](gate_id g) {
+        return gates_[g].kind == gate_kind::compute ||
+               gates_[g].kind == gate_kind::trigger;
+    };
+    auto counts_for_depth = [this, &is_gate](const pl_edge& e) {
+        return e.kind == edge_kind::data && !e.init_token && is_gate(e.from);
+    };
+    for (const pl_edge& e : edges_) {
+        if (counts_for_depth(e)) ++indeg[e.to];
+    }
+    std::vector<gate_id> queue;
+    for (gate_id g = 0; g < gates_.size(); ++g) {
+        if (indeg[g] == 0) queue.push_back(g);
+    }
+    std::size_t processed = 0;
+    while (!queue.empty()) {
+        const gate_id g = queue.back();
+        queue.pop_back();
+        ++processed;
+        if (is_gate(g)) {
+            depth[g] = in_depth[g] + 1;
+        } else if (gates_[g].kind == gate_kind::sink) {
+            depth[g] = in_depth[g];  // observed output depth, for reporting
+        } else {
+            depth[g] = 0;  // token providers restart the wave at depth 0
+        }
+        for (edge_id idx : gates_[g].out_edges) {
+            const pl_edge& e = edges_[idx];
+            if (!counts_for_depth(e)) continue;
+            in_depth[e.to] = std::max(in_depth[e.to], depth[g]);
+            if (--indeg[e.to] == 0) queue.push_back(e.to);
+        }
+    }
+    if (processed != gates_.size()) {
+        throw std::logic_error("arrival_depth: combinational cycle in data edges");
+    }
+    return depth;
+}
+
+std::string pl_netlist::to_dot(const std::string& graph_name) const {
+    std::ostringstream os;
+    os << "digraph " << graph_name << " {\n  rankdir=LR;\n";
+    for (gate_id g = 0; g < gates_.size(); ++g) {
+        os << "  g" << g << " [label=\"" << to_string(gates_[g].kind);
+        if (!gates_[g].name.empty()) os << "\\n" << gates_[g].name;
+        os << "\", shape="
+           << (gates_[g].kind == gate_kind::trigger ? "diamond" : "ellipse") << "];\n";
+    }
+    for (const pl_edge& e : edges_) {
+        os << "  g" << e.from << " -> g" << e.to;
+        os << " [style=" << (e.kind == edge_kind::ack ? "dashed" : "solid");
+        if (e.init_token) os << ", label=\"*\"";
+        os << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace plee::pl

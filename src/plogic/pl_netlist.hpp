@@ -1,0 +1,135 @@
+// pl_netlist.hpp — Phased Logic netlists.
+//
+// A PL netlist is the self-timed image of a synchronous LUT4+DFF netlist:
+//  * every LUT becomes a *compute* gate (fires when a token is present on
+//    every input: completion detection by the Muller-C element of Figure 1);
+//  * every DFF becomes a *through* gate whose output edges carry an initial
+//    token holding the register's reset value;
+//  * primary inputs/outputs become environment *source*/*sink* gates;
+//  * acknowledge feedback edges close every signal into a directed circuit,
+//    creating the unit-depth token queues of Section 2.1.
+//
+// Early Evaluation (Section 3) adds *trigger* gates: a trigger taps a subset
+// of its master's input signals, computes the trigger function, and sends an
+// "efire" token to the master.  A 1-valued efire token lets the master emit
+// its output before the remaining inputs arrive; handshaking still consumes
+// every input token, so the marked-graph marking invariants are preserved.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bool/truth_table.hpp"
+#include "netlist/netlist.hpp"
+#include "plogic/marked_graph.hpp"
+
+namespace plee::pl {
+
+using gate_id = std::uint32_t;
+using edge_id = std::uint32_t;
+inline constexpr gate_id k_invalid_gate = 0xffffffffu;
+inline constexpr edge_id k_invalid_edge = 0xffffffffu;
+
+enum class gate_kind : std::uint8_t {
+    source,        ///< environment driver of a primary input (new token per wave)
+    const_source,  ///< re-emits a constant-valued token every wave
+    sink,          ///< environment consumer of a primary output
+    compute,       ///< LUT4 gate (the paper's PL gate)
+    through,       ///< register gate: identity function, initially marked outputs
+    trigger,       ///< Early Evaluation trigger gate
+};
+
+const char* to_string(gate_kind kind);
+
+enum class edge_kind : std::uint8_t {
+    data,  ///< carries valued tokens producer -> consumer
+    ack,   ///< acknowledge feedback consumer -> producer (pure control)
+};
+
+struct pl_edge {
+    gate_id from = k_invalid_gate;
+    gate_id to = k_invalid_gate;
+    edge_kind kind = edge_kind::data;
+    /// LUT pin index at the consumer for data edges into compute/trigger
+    /// gates; -1 otherwise.
+    int to_pin = -1;
+    bool init_token = false;  ///< marking: one initial token present
+    bool init_value = false;  ///< value of the initial token (data edges)
+};
+
+struct pl_gate {
+    gate_kind kind = gate_kind::compute;
+    std::string name;
+    bf::truth_table function{0};  ///< compute/trigger; arity == data pin count
+    bool const_value = false;     ///< const_source only
+
+    std::vector<edge_id> in_edges;   ///< all incoming (data + ack + efire)
+    std::vector<edge_id> out_edges;  ///< all outgoing
+    std::vector<edge_id> data_in;    ///< pin-ordered data inputs (LUT operands)
+
+    // Early Evaluation pairing.
+    gate_id trigger = k_invalid_gate;   ///< master gate: its trigger, if any
+    gate_id master = k_invalid_gate;    ///< trigger gate: its master
+    edge_id efire_in = k_invalid_edge;  ///< master gate: edge carrying efire
+    std::uint32_t trigger_support = 0;  ///< trigger gate: pin mask of master inputs
+};
+
+class pl_netlist {
+public:
+    // --- Construction ------------------------------------------------------
+    gate_id add_gate(gate_kind kind, std::string name = "");
+    void set_function(gate_id g, const bf::truth_table& fn);
+    void set_const_value(gate_id g, bool value);
+    /// Adds a data edge; for compute/trigger consumers, `to_pin` must be the
+    /// LUT operand position and arrive in ascending pin order.
+    edge_id add_data_edge(gate_id from, gate_id to, int to_pin, bool init_token,
+                          bool init_value);
+    edge_id add_ack_edge(gate_id from, gate_id to, bool init_token);
+
+    /// Wires a trigger gate for `master` computing `fn` over the master pins
+    /// selected by `support_mask` (taps the same producer signals, adds the
+    /// efire data edge and all acknowledge feedback).  Returns the trigger id.
+    gate_id attach_trigger(gate_id master, const bf::truth_table& fn,
+                           std::uint32_t support_mask);
+
+    // --- Access -------------------------------------------------------------
+    std::size_t num_gates() const { return gates_.size(); }
+    std::size_t num_edges() const { return edges_.size(); }
+    const pl_gate& gate(gate_id g) const { return gates_[g]; }
+    const pl_edge& edge(edge_id e) const { return edges_[e]; }
+    const std::vector<pl_gate>& gates() const { return gates_; }
+    const std::vector<pl_edge>& edges() const { return edges_; }
+
+    const std::vector<gate_id>& sources() const { return sources_; }
+    const std::vector<gate_id>& sinks() const { return sinks_; }
+
+    /// The paper's "PL Gates" area unit: compute + through gates.
+    std::size_t num_pl_gates() const;
+    /// The paper's "EE Gates" column: trigger gates added by the EE pass.
+    std::size_t num_trigger_gates() const;
+    std::size_t num_ack_edges() const;
+
+    // --- Analysis -----------------------------------------------------------
+    /// Marked-graph image (tokens = initial markings) for verification.
+    marked_graph to_marked_graph() const;
+    /// Full well-formed / live / safe verification.
+    mg_report verify() const;
+
+    /// Arrival depth of each gate's output signal: "the maximum path length
+    /// in terms of PL gates from the primary circuit inputs" (Section 3).
+    /// Sources, constant sources and through gates provide tokens at wave
+    /// start (depth 0); a compute/trigger gate adds one gate of depth.
+    std::vector<int> arrival_depth() const;
+
+    std::string to_dot(const std::string& graph_name = "pl") const;
+
+private:
+    std::vector<pl_gate> gates_;
+    std::vector<pl_edge> edges_;
+    std::vector<gate_id> sources_;
+    std::vector<gate_id> sinks_;
+};
+
+}  // namespace plee::pl

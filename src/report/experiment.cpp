@@ -1,0 +1,38 @@
+#include "report/experiment.hpp"
+
+namespace plee::report {
+
+experiment_row run_ee_experiment(const std::string& description,
+                                 const nl::netlist& netlist,
+                                 const experiment_options& options) {
+    experiment_row row;
+    row.description = description;
+
+    // Baseline: plain Phased Logic.
+    pl::map_result mapped = pl::map_to_phased_logic(netlist, options.map);
+    row.pl_gates = mapped.pl.num_pl_gates();
+    const sim::measure_result base =
+        sim::measure_average_delay(mapped.pl, &netlist, options.measure);
+    row.delay_no_ee = base.avg_delay;
+    row.stats_no_ee = base.stats;
+
+    // Early Evaluation applied to the same mapping.
+    pl::map_result mapped_ee = pl::map_to_phased_logic(netlist, options.map);
+    row.ee_detail = ee::apply_early_evaluation(mapped_ee.pl, options.ee);
+    row.ee_gates = mapped_ee.pl.num_trigger_gates();
+    const sim::measure_result with_ee =
+        sim::measure_average_delay(mapped_ee.pl, &netlist, options.measure);
+    row.delay_ee = with_ee.avg_delay;
+    row.stats_ee = with_ee.stats;
+
+    row.delay_diff = row.delay_no_ee - row.delay_ee;
+    row.area_increase_pct =
+        row.pl_gates == 0 ? 0.0
+                          : 100.0 * static_cast<double>(row.ee_gates) /
+                                static_cast<double>(row.pl_gates);
+    row.delay_decrease_pct =
+        row.delay_no_ee == 0.0 ? 0.0 : 100.0 * row.delay_diff / row.delay_no_ee;
+    return row;
+}
+
+}  // namespace plee::report

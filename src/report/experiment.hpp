@@ -1,0 +1,47 @@
+// experiment.hpp — the end-to-end Table 3 experiment pipeline.
+//
+// One row of the paper's Table 3 is produced by:
+//   synchronous netlist -> PL mapping -> measure (100 random vectors)
+//                        -> EE transform -> measure again
+// and reporting: PL gate count, EE gate count, both average delays, the
+// delay difference, % area increase (EE gates / PL gates) and % delay
+// decrease.  Both measurements verify the PL outputs against the synchronous
+// golden simulation wave-by-wave.
+
+#pragma once
+
+#include <string>
+
+#include "ee/ee_transform.hpp"
+#include "netlist/netlist.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "sim/measure.hpp"
+
+namespace plee::report {
+
+struct experiment_options {
+    pl::map_options map{};
+    ee::ee_options ee{};
+    sim::measure_options measure{};
+};
+
+struct experiment_row {
+    std::string description;
+    std::size_t pl_gates = 0;       ///< compute + through gates, before EE
+    std::size_t ee_gates = 0;       ///< trigger gates added
+    double delay_no_ee = 0.0;       ///< ns, averaged over the random waves
+    double delay_ee = 0.0;
+    double delay_diff = 0.0;        ///< delay_no_ee - delay_ee
+    double area_increase_pct = 0.0; ///< 100 * ee_gates / pl_gates
+    double delay_decrease_pct = 0.0;///< 100 * delay_diff / delay_no_ee
+    sim::sim_run_stats stats_no_ee;
+    sim::sim_run_stats stats_ee;
+    ee::ee_stats ee_detail;
+};
+
+/// Runs the full pipeline on one benchmark circuit.
+experiment_row run_ee_experiment(const std::string& description,
+                                 const nl::netlist& netlist,
+                                 const experiment_options& options = {});
+
+}  // namespace plee::report

@@ -1,0 +1,73 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace plee::report {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("text_table::add_row: cell count mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+    emit_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::string text_table::to_csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string fmt(double value, int digits) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(digits);
+    os << value;
+    return os.str();
+}
+
+std::string fmt_pct(double value, int digits) {
+    std::string s = fmt(value, digits);
+    if (value >= 0) s.insert(s.begin(), '+');
+    return s + "%";
+}
+
+}  // namespace plee::report

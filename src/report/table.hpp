@@ -1,0 +1,37 @@
+// table.hpp — plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints its results in the same row/column layout as the
+// corresponding table in the paper, so paper-vs-measured comparisons are a
+// side-by-side read.  A CSV form is provided for downstream plotting.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plee::report {
+
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Fixed-width ASCII rendering with a header separator.
+    std::string to_string() const;
+    /// RFC-4180-ish CSV (no quoting needed for our cell contents).
+    std::string to_csv() const;
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed).
+std::string fmt(double value, int digits = 1);
+/// Formats a percentage with sign, e.g. "+36%" / "-2%".
+std::string fmt_pct(double value, int digits = 0);
+
+}  // namespace plee::report

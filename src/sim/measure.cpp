@@ -1,0 +1,70 @@
+#include "sim/measure.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "netlist/sync_sim.hpp"
+
+namespace plee::sim {
+
+std::vector<std::vector<bool>> random_vectors(std::size_t count, std::size_t width,
+                                              std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::bernoulli_distribution bit(0.5);
+    std::vector<std::vector<bool>> vectors(count, std::vector<bool>(width, false));
+    for (auto& v : vectors) {
+        for (std::size_t i = 0; i < width; ++i) v[i] = bit(rng);
+    }
+    return vectors;
+}
+
+measure_result measure_average_delay(const pl::pl_netlist& pl,
+                                     const nl::netlist* golden,
+                                     const measure_options& options) {
+    const auto vectors =
+        random_vectors(options.num_vectors, pl.sources().size(), options.seed);
+
+    pl_simulator simulator(pl, options.sim);
+    const std::vector<wave_record> waves = simulator.run(vectors);
+
+    measure_result result;
+    result.stats = simulator.stats();
+    result.delays.reserve(waves.size());
+
+    if (golden != nullptr) {
+        nl::sync_simulator gold(*golden);
+        for (std::size_t w = 0; w < waves.size(); ++w) {
+            const std::vector<bool> expected = gold.cycle(vectors[w]);
+            if (expected != waves[w].outputs) ++result.mismatched_waves;
+        }
+        if (result.mismatched_waves > 0 && options.require_functional_match) {
+            throw std::logic_error(
+                "measure_average_delay: PL outputs diverge from the synchronous "
+                "golden model on " + std::to_string(result.mismatched_waves) +
+                " waves");
+        }
+    }
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    result.min_delay = waves.empty() ? 0.0 : waves.front().delay();
+    result.max_delay = result.min_delay;
+    for (const wave_record& w : waves) {
+        const double d = w.delay();
+        result.delays.push_back(d);
+        sum += d;
+        sum_sq += d * d;
+        result.min_delay = std::min(result.min_delay, d);
+        result.max_delay = std::max(result.max_delay, d);
+    }
+    if (!waves.empty()) {
+        const double n = static_cast<double>(waves.size());
+        result.avg_delay = sum / n;
+        const double variance = std::max(0.0, sum_sq / n - result.avg_delay * result.avg_delay);
+        result.stddev = std::sqrt(variance);
+    }
+    return result;
+}
+
+}  // namespace plee::sim

@@ -1,0 +1,53 @@
+// measure.hpp — the paper's delay-measurement harness.
+//
+// Section 4: "These results are based upon the average statistics of 100
+// simulations where the input vectors were randomly generated.  For each PL
+// circuit, we determined the average delay time between the presence of a
+// stable input vector and a stable output word."
+//
+// measure_average_delay drives a PL netlist with random vectors through the
+// event simulator and aggregates the per-wave delays; when a golden
+// synchronous netlist is supplied, every wave's primary outputs are checked
+// against the synchronous simulation cycle-by-cycle, proving the PL mapping
+// (and any Early Evaluation circuitry) functionally transparent.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "plogic/pl_netlist.hpp"
+#include "sim/pl_sim.hpp"
+
+namespace plee::sim {
+
+struct measure_options {
+    std::size_t num_vectors = 100;  ///< the paper's 100 random simulations
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    sim_options sim{};
+    /// Throw std::logic_error if PL outputs diverge from the golden netlist.
+    bool require_functional_match = true;
+};
+
+struct measure_result {
+    double avg_delay = 0.0;
+    double min_delay = 0.0;
+    double max_delay = 0.0;
+    double stddev = 0.0;
+    std::vector<double> delays;  ///< per wave
+    sim_run_stats stats;
+    std::size_t mismatched_waves = 0;
+};
+
+/// Deterministic pseudo-random stimulus, one vector per wave.
+std::vector<std::vector<bool>> random_vectors(std::size_t count, std::size_t width,
+                                              std::uint64_t seed);
+
+/// Runs the measurement protocol.  `golden` may be null to skip the
+/// functional comparison (e.g. for hand-built PL netlists).
+measure_result measure_average_delay(const pl::pl_netlist& pl,
+                                     const nl::netlist* golden,
+                                     const measure_options& options = {});
+
+}  // namespace plee::sim

@@ -1,0 +1,304 @@
+#include "sim/pl_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bool/support.hpp"
+
+namespace plee::sim {
+
+pl_simulator::pl_simulator(const pl::pl_netlist& pl, sim_options options)
+    : pl_(pl), options_(options),
+      source_index_(pl.num_gates(), 0), sink_index_(pl.num_gates(), 0) {
+    for (std::size_t i = 0; i < pl.sources().size(); ++i) {
+        source_index_[pl.sources()[i]] = i;
+    }
+    for (std::size_t i = 0; i < pl.sinks().size(); ++i) {
+        sink_index_[pl.sinks()[i]] = i;
+    }
+}
+
+void pl_simulator::reset() {
+    stats_ = {};
+    trace_.clear();
+    tokens_.assign(pl_.num_edges(), {});
+    pending_.assign(pl_.num_gates(), 0);
+    fired_waves_.assign(pl_.num_gates(), 0);
+    heap_.clear();
+    next_seq_ = 0;
+    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
+        pending_[g] = static_cast<std::uint32_t>(pl_.gate(g).in_edges.size());
+    }
+    // Initial marking: tokens in place at t = 0.
+    for (pl::edge_id e = 0; e < pl_.num_edges(); ++e) {
+        const pl::pl_edge& edge = pl_.edge(e);
+        if (edge.init_token) {
+            tokens_[e] = {true, edge.init_value, 0.0};
+            --pending_[edge.to];
+        }
+    }
+}
+
+void pl_simulator::schedule(pl::edge_id edge, bool value, double time) {
+    heap_.push_back({time, next_seq_++, edge, value});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void pl_simulator::place(pl::edge_id edge, bool value, double time) {
+    token_slot& slot = tokens_[edge];
+    if (slot.present) {
+        throw std::logic_error(
+            "pl_simulator: token deposited onto an occupied edge " +
+            std::to_string(edge) + " (marked-graph safety violation)");
+    }
+    slot = {true, value, time};
+    if (options_.collect_trace && pl_.edge(edge).kind == pl::edge_kind::data) {
+        trace_.push_back({time, edge, value});
+    }
+    if (--pending_[pl_.edge(edge).to] == 0) try_fire(pl_.edge(edge).to);
+}
+
+void pl_simulator::fire_source(pl::gate_id g) {
+    const pl::pl_gate& gate = pl_.gate(g);
+    // A source with acknowledge inputs fires once per enabling; a source with
+    // no feedback constraints (all its acks were shared away, or it is being
+    // abused in a hand-built netlist) free-runs through every released wave —
+    // which is exactly how an over-eager environment overruns an unsafe
+    // design, and the dynamic safety check then reports it.
+    while (pending_[g] == 0) {
+        const std::size_t wave = fired_waves_[g];
+        if (wave >= num_waves_ || wave >= released_waves_) return;
+
+        double t_ready = release_time_[wave];
+        for (pl::edge_id e : gate.in_edges) t_ready = std::max(t_ready, tokens_[e].time);
+        for (pl::edge_id e : gate.in_edges) {
+            tokens_[e].present = false;
+            ++pending_[g];
+        }
+        ++fired_waves_[g];
+        ++stats_.firings;
+
+        const bool value = (*vectors_)[wave][source_index_[g]];
+        const double t_out = t_ready + options_.delays.d_source;
+        input_stable_[wave] = std::max(input_stable_[wave], t_out);
+        for (pl::edge_id e : gate.out_edges) schedule(e, value, t_out);
+    }
+}
+
+void pl_simulator::record_sink(pl::gate_id g) {
+    const pl::pl_gate& gate = pl_.gate(g);
+    const pl::edge_id data_edge = gate.data_in.front();
+    const token_slot tok = tokens_[data_edge];
+    const std::size_t wave = fired_waves_[g];
+
+    for (pl::edge_id e : gate.in_edges) {
+        tokens_[e].present = false;
+        ++pending_[g];
+    }
+    ++fired_waves_[g];
+    ++stats_.firings;
+
+    double t_ready = tok.time;
+    for (pl::edge_id e : gate.in_edges) t_ready = std::max(t_ready, tokens_[e].time);
+    for (pl::edge_id e : gate.out_edges) {
+        schedule(e, false, t_ready + options_.delays.ack_delay());
+    }
+
+    if (wave >= num_waves_) return;  // drain beyond the measured horizon
+    wave_outputs_[wave][sink_index_[g]] = tok.value;
+    output_stable_[wave] = std::max(output_stable_[wave], tok.time);
+    if (--sinks_pending_[wave] == 0) {
+        ++waves_stable_;
+        if (options_.non_pipelined && wave + 1 < num_waves_) {
+            release_time_[wave + 1] = output_stable_[wave];
+            ++released_waves_;
+            for (pl::gate_id src : pl_.sources()) {
+                if (pending_[src] == 0) fire_source(src);
+            }
+        }
+    }
+}
+
+void pl_simulator::try_fire(pl::gate_id g) {
+    if (pending_[g] != 0) return;
+    const pl::pl_gate& gate = pl_.gate(g);
+
+    switch (gate.kind) {
+        case pl::gate_kind::source:
+            fire_source(g);
+            return;
+        case pl::gate_kind::sink:
+            record_sink(g);
+            return;
+        default:
+            break;
+    }
+
+    // Common firing: compute readiness, consume, emit.
+    double t_ready = 0.0;
+    for (pl::edge_id e : gate.in_edges) t_ready = std::max(t_ready, tokens_[e].time);
+
+    // Gather the LUT operand values before consuming.
+    std::uint32_t minterm = 0;
+    for (std::size_t pin = 0; pin < gate.data_in.size(); ++pin) {
+        if (tokens_[gate.data_in[pin]].value) minterm |= 1u << pin;
+    }
+    double efire_time = 0.0;
+    bool efire_value = false;
+    const bool has_trigger = gate.efire_in != pl::k_invalid_edge;
+    if (has_trigger) {
+        efire_time = tokens_[gate.efire_in].time;
+        efire_value = tokens_[gate.efire_in].value;
+    }
+    double t_data = 0.0;
+    for (pl::edge_id e : gate.data_in) t_data = std::max(t_data, tokens_[e].time);
+
+    for (pl::edge_id e : gate.in_edges) {
+        tokens_[e].present = false;
+        ++pending_[g];
+    }
+    ++fired_waves_[g];
+    ++stats_.firings;
+
+    bool value = false;
+    double t_out = 0.0;
+    switch (gate.kind) {
+        case pl::gate_kind::const_source:
+            value = gate.const_value;
+            t_out = t_ready + options_.delays.d_source;
+            break;
+        case pl::gate_kind::through:
+            value = (minterm & 1u) != 0;  // identity on the D token
+            t_out = t_ready + options_.delays.through_delay();
+            break;
+        case pl::gate_kind::trigger:
+            value = gate.function.eval(minterm);
+            t_out = t_ready + options_.delays.gate_delay();
+            break;
+        case pl::gate_kind::compute: {
+            value = gate.function.eval(minterm);
+            if (!has_trigger) {
+                t_out = t_ready + options_.delays.gate_delay();
+                break;
+            }
+            // EE master: normal completion pays the extra C-element; a
+            // 1-valued efire token opens the output latch early.
+            const double normal =
+                t_data + options_.delays.gate_delay() + options_.delays.d_ee_penalty;
+            if (efire_value) {
+                const double early = efire_time + options_.delays.efire_delay();
+                t_out = std::min(early, normal);
+                ++stats_.ee_hits;
+                if (early < normal) ++stats_.ee_wins;
+            } else {
+                t_out = normal;
+                ++stats_.ee_misses;
+            }
+            if (options_.check_early_value) {
+                // Recompute the trigger from the master's consumed operands.
+                const pl::pl_gate& trig = pl_.gate(gate.trigger);
+                const std::vector<int> pins = bf::support_members(trig.trigger_support);
+                std::uint32_t packed = 0;
+                for (std::size_t i = 0; i < pins.size(); ++i) {
+                    if ((minterm >> pins[i]) & 1u) packed |= 1u << i;
+                }
+                if (trig.function.eval(packed) != efire_value) {
+                    throw std::logic_error(
+                        "pl_simulator: efire token disagrees with the trigger "
+                        "function (EE invariant violated)");
+                }
+            }
+            break;
+        }
+        default:
+            throw std::logic_error("pl_simulator: unexpected gate kind in firing");
+    }
+
+    const double t_ack = t_ready + options_.delays.ack_delay();
+    for (pl::edge_id e : gate.out_edges) {
+        const pl::pl_edge& edge = pl_.edge(e);
+        schedule(e, value, edge.kind == pl::edge_kind::ack ? t_ack : t_out);
+    }
+}
+
+std::vector<wave_record> pl_simulator::run(
+    const std::vector<std::vector<bool>>& vectors) {
+    for (const auto& v : vectors) {
+        if (v.size() != pl_.sources().size()) {
+            throw std::invalid_argument("pl_simulator::run: vector width mismatch");
+        }
+    }
+    if (pl_.sinks().empty()) {
+        throw std::invalid_argument("pl_simulator::run: netlist has no outputs");
+    }
+
+    reset();
+    vectors_ = &vectors;
+    num_waves_ = vectors.size();
+    released_waves_ = options_.non_pipelined ? 1 : num_waves_;
+    release_time_.assign(num_waves_, 0.0);
+    input_stable_.assign(num_waves_, 0.0);
+    output_stable_.assign(num_waves_, 0.0);
+    sinks_pending_.assign(num_waves_, pl_.sinks().size());
+    waves_stable_ = 0;
+    wave_outputs_.assign(num_waves_, std::vector<bool>(pl_.sinks().size(), false));
+
+    // Kick off every gate enabled by the initial marking.
+    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
+        if (pending_[g] == 0 && !pl_.gate(g).in_edges.empty()) try_fire(g);
+        // Sources with no acknowledge inputs (no consumers needing them) may
+        // also be enabled with zero in-edges.
+        if (pending_[g] == 0 && pl_.gate(g).in_edges.empty() &&
+            pl_.gate(g).kind == pl::gate_kind::source &&
+            !pl_.gate(g).out_edges.empty()) {
+            try_fire(g);
+        }
+    }
+
+    while (!heap_.empty() && waves_stable_ < num_waves_) {
+        if (++stats_.events > options_.max_events) {
+            throw std::runtime_error("pl_simulator: event budget exhausted");
+        }
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        const deposit d = heap_.back();
+        heap_.pop_back();
+        place(d.edge, d.value, d.time);
+    }
+    if (waves_stable_ < num_waves_) {
+        throw std::runtime_error("pl_simulator: deadlock — " + deadlock_diagnostic());
+    }
+
+    std::vector<wave_record> records;
+    records.reserve(num_waves_);
+    for (std::size_t w = 0; w < num_waves_; ++w) {
+        wave_record rec;
+        rec.outputs = wave_outputs_[w];
+        rec.release_time = release_time_[w];
+        rec.input_stable = input_stable_[w];
+        rec.output_stable = output_stable_[w];
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+std::string pl_simulator::deadlock_diagnostic() const {
+    std::size_t starving = 0;
+    pl::gate_id example = pl::k_invalid_gate;
+    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
+        if (pending_[g] > 0) {
+            ++starving;
+            if (example == pl::k_invalid_gate) example = g;
+        }
+    }
+    std::string msg = std::to_string(waves_stable_) + "/" +
+                      std::to_string(num_waves_) + " waves stable, " +
+                      std::to_string(starving) + " gates waiting";
+    if (example != pl::k_invalid_gate) {
+        msg += " (first: gate " + std::to_string(example) + " '" +
+               pl_.gate(example).name + "' missing " +
+               std::to_string(pending_[example]) + " tokens)";
+    }
+    return msg;
+}
+
+}  // namespace plee::sim

@@ -1,0 +1,148 @@
+// pl_sim.hpp — event-driven token-level simulator for Phased Logic netlists.
+//
+// Simulates the marked-graph semantics of a PL circuit with valued tokens and
+// the delay model of delay_model.hpp.  A gate fires the moment a token is
+// present on every input edge (the Muller-C completion rule); firing consumes
+// one token per input edge and deposits tokens on every output edge at
+// analytically computed times.  Early Evaluation masters fire their *output*
+// early when the efire token carries 1, while handshaking (acknowledges,
+// token consumption) still waits for full completion — exactly the decoupling
+// of Figure 2.
+//
+// The measurement protocol matches Section 4: "we determined the average
+// delay time between the presence of a stable input vector and a stable
+// output word. In a PL circuit, new values cannot be presented to the inputs
+// until a stable output is generated for the current input values."  In the
+// default non-pipelined mode the environment releases input vector k+1 when
+// all primary outputs of vector k have arrived.  A pipelined mode (tokens
+// streamed as fast as the acknowledges allow) is provided as an extension.
+//
+// The simulator doubles as a dynamic checker of the marked-graph theory: a
+// token deposited onto an occupied edge (safety violation) or a deadlock
+// before the run completes (liveness violation) raises an error.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plogic/pl_netlist.hpp"
+#include "sim/delay_model.hpp"
+
+namespace plee::sim {
+
+struct sim_options {
+    delay_model delays{};
+    /// Environment mode: true = vector-at-a-time (the paper's measurement),
+    /// false = streaming tokens limited only by the handshakes.
+    bool non_pipelined = true;
+    /// Verify the EE invariant on every early fire: the trigger value
+    /// recomputed from the master's consumed inputs must match the efire
+    /// token, and a 1 trigger implies the subset determines the output.
+    bool check_early_value = true;
+    /// Record every data-token arrival for waveform (VCD) export.
+    bool collect_trace = false;
+    /// Hard limit on processed events (runaway guard).
+    std::uint64_t max_events = 100'000'000;
+};
+
+/// One recorded token arrival (collect_trace mode).
+struct trace_event {
+    double time = 0.0;
+    pl::edge_id edge = pl::k_invalid_edge;
+    bool value = false;
+};
+
+struct wave_record {
+    std::vector<bool> outputs;   ///< primary output values, sink order
+    double release_time = 0.0;   ///< when the environment could present inputs
+                                 ///< (= previous wave's output_stable)
+    double input_stable = 0.0;   ///< last input token deposit for this wave
+    double output_stable = 0.0;  ///< last primary output token arrival
+
+    /// The paper's per-vector delay: "the presence of a stable input vector"
+    /// (the environment may drive inputs the moment the previous outputs are
+    /// stable) to "a stable output word".  For combinational circuits this
+    /// is the settle time; for sequential circuits it is the self-timed
+    /// cycle time, including the register-update wave.  Meaningful in
+    /// non-pipelined mode (in pipelined mode release_time is 0 and this is
+    /// the absolute stabilization time).
+    double delay() const { return output_stable - release_time; }
+};
+
+struct sim_run_stats {
+    std::uint64_t events = 0;
+    std::uint64_t firings = 0;
+    std::uint64_t ee_hits = 0;    ///< master firings with efire == 1
+    std::uint64_t ee_misses = 0;  ///< master firings with efire == 0
+    std::uint64_t ee_wins = 0;    ///< hits where the efire path strictly won
+};
+
+class pl_simulator {
+public:
+    explicit pl_simulator(const pl::pl_netlist& pl, sim_options options = {});
+
+    /// Runs `vectors.size()` waves; vectors[k] holds the wave-k value of each
+    /// primary input in pl.sources() order.  Throws on deadlock, safety
+    /// violation or EE invariant failure.
+    std::vector<wave_record> run(const std::vector<std::vector<bool>>& vectors);
+
+    const sim_run_stats& stats() const { return stats_; }
+
+    /// Token arrivals recorded by the last run (empty unless
+    /// options.collect_trace); ordered by processing, not strictly by time.
+    const std::vector<trace_event>& trace() const { return trace_; }
+
+private:
+    struct token_slot {
+        bool present = false;
+        bool value = false;
+        double time = 0.0;
+    };
+    struct deposit {
+        double time = 0.0;
+        std::uint64_t seq = 0;
+        pl::edge_id edge = pl::k_invalid_edge;
+        bool value = false;
+        bool operator>(const deposit& o) const {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    void reset();
+    void schedule(pl::edge_id edge, bool value, double time);
+    void place(pl::edge_id edge, bool value, double time);
+    void try_fire(pl::gate_id g);
+    void fire_source(pl::gate_id g);
+    void record_sink(pl::gate_id g);
+    std::string deadlock_diagnostic() const;
+
+    const pl::pl_netlist& pl_;
+    sim_options options_;
+    sim_run_stats stats_;
+
+    // Static structure.
+    std::vector<std::size_t> source_index_;  ///< gate -> position in sources()
+    std::vector<std::size_t> sink_index_;    ///< gate -> position in sinks()
+
+    // Per-run state.
+    std::vector<token_slot> tokens_;          ///< per edge
+    std::vector<std::uint32_t> pending_;      ///< per gate: inputs without tokens
+    std::vector<std::uint32_t> fired_waves_;  ///< per gate: completed firings
+    std::vector<deposit> heap_;               ///< min-heap via std::push_heap
+    std::uint64_t next_seq_ = 0;
+
+    std::vector<trace_event> trace_;
+    const std::vector<std::vector<bool>>* vectors_ = nullptr;
+    std::size_t num_waves_ = 0;
+    std::size_t released_waves_ = 0;
+    std::vector<double> release_time_;        ///< per wave
+    std::vector<double> input_stable_;        ///< per wave
+    std::vector<double> output_stable_;       ///< per wave
+    std::vector<std::size_t> sinks_pending_;  ///< per wave: sinks not yet arrived
+    std::size_t waves_stable_ = 0;
+    std::vector<std::vector<bool>> wave_outputs_;
+};
+
+}  // namespace plee::sim

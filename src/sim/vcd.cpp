@@ -1,0 +1,124 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace plee::sim {
+
+namespace {
+
+/// Compact VCD identifier for signal index i (printable ASCII 33..126).
+std::string vcd_id(std::size_t i) {
+    std::string id;
+    do {
+        id += static_cast<char>(33 + (i % 94));
+        i /= 94;
+    } while (i > 0);
+    return id;
+}
+
+std::string signal_name(const pl::pl_netlist& pl, pl::gate_id g) {
+    const pl::pl_gate& gate = pl.gate(g);
+    std::string base = gate.name.empty()
+                           ? std::string(to_string(gate.kind)) + std::to_string(g)
+                           : gate.name;
+    // VCD identifiers must not contain whitespace or brackets.
+    for (char& c : base) {
+        if (c == ' ' || c == '[' || c == ']') c = '_';
+    }
+    return base;
+}
+
+}  // namespace
+
+std::string to_vcd(const pl::pl_netlist& pl, const std::vector<trace_event>& trace,
+                   const vcd_options& options) {
+    // One signal per gate that drives at least one data edge; a gate's data
+    // fanout edges all carry the same token, so the first one represents it.
+    std::map<pl::gate_id, std::size_t> signal_of_gate;  // -> signal index
+    std::vector<pl::gate_id> gate_of_signal;
+    std::vector<pl::edge_id> probe_edge;  // representative edge per signal
+    for (pl::gate_id g = 0; g < pl.num_gates(); ++g) {
+        if (options.ports_only && pl.gate(g).kind != pl::gate_kind::source) continue;
+        for (pl::edge_id e : pl.gate(g).out_edges) {
+            if (pl.edge(e).kind == pl::edge_kind::data) {
+                signal_of_gate.emplace(g, gate_of_signal.size());
+                gate_of_signal.push_back(g);
+                probe_edge.push_back(e);
+                break;
+            }
+        }
+    }
+    // Sinks observe, they do not drive; in ports_only mode expose the wires
+    // feeding the sinks instead.
+    if (options.ports_only) {
+        for (pl::gate_id s : pl.sinks()) {
+            const pl::pl_gate& sink = pl.gate(s);
+            if (sink.data_in.empty()) continue;
+            const pl::edge_id feed = sink.data_in.front();
+            const pl::gate_id driver = pl.edge(feed).from;
+            if (!signal_of_gate.count(driver)) {
+                signal_of_gate.emplace(driver, gate_of_signal.size());
+                gate_of_signal.push_back(driver);
+                probe_edge.push_back(feed);
+            }
+        }
+    }
+
+    std::ostringstream os;
+    os << "$date plee self-timed trace $end\n";
+    os << "$timescale " << options.timescale << " $end\n";
+    os << "$scope module pl $end\n";
+    for (std::size_t i = 0; i < gate_of_signal.size(); ++i) {
+        os << "$var wire 1 " << vcd_id(i) << " "
+           << signal_name(pl, gate_of_signal[i]) << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Initial values unknown until the first token arrives.
+    os << "$dumpvars\n";
+    for (std::size_t i = 0; i < gate_of_signal.size(); ++i) {
+        os << "x" << vcd_id(i) << "\n";
+    }
+    os << "$end\n";
+
+    // Events, time-ordered, restricted to the representative edges and
+    // filtered to actual value changes.
+    struct change {
+        long long ticks;
+        std::size_t signal;
+        bool value;
+    };
+    std::map<pl::edge_id, std::size_t> signal_of_edge;
+    for (std::size_t i = 0; i < probe_edge.size(); ++i) {
+        signal_of_edge.emplace(probe_edge[i], i);
+    }
+    std::vector<change> changes;
+    changes.reserve(trace.size());
+    for (const trace_event& ev : trace) {
+        auto it = signal_of_edge.find(ev.edge);
+        if (it == signal_of_edge.end()) continue;
+        changes.push_back({static_cast<long long>(
+                               std::llround(ev.time * options.ns_to_ticks)),
+                           it->second, ev.value});
+    }
+    std::stable_sort(changes.begin(), changes.end(),
+                     [](const change& a, const change& b) { return a.ticks < b.ticks; });
+
+    std::vector<int> last(gate_of_signal.size(), -1);
+    long long current_time = -1;
+    for (const change& c : changes) {
+        if (last[c.signal] == static_cast<int>(c.value)) continue;
+        if (c.ticks != current_time) {
+            os << "#" << c.ticks << "\n";
+            current_time = c.ticks;
+        }
+        os << (c.value ? "1" : "0") << vcd_id(c.signal) << "\n";
+        last[c.signal] = static_cast<int>(c.value);
+    }
+    return os.str();
+}
+
+}  // namespace plee::sim

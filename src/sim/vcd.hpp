@@ -1,0 +1,31 @@
+// vcd.hpp — Value Change Dump export of PL simulation traces.
+//
+// Converts the token arrivals recorded by pl_simulator (collect_trace mode)
+// into a standard VCD waveform: one logic signal per token-producing gate
+// (the value rail of its output wire), viewable in GTKWave and friends.
+// This is the debugging view the paper's authors would have had from qhsim.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plogic/pl_netlist.hpp"
+#include "sim/pl_sim.hpp"
+
+namespace plee::sim {
+
+struct vcd_options {
+    /// Dump only primary inputs and outputs (default: every wire).
+    bool ports_only = false;
+    /// VCD timescale; simulation times (ns) are emitted at this resolution.
+    std::string timescale = "1ps";
+    double ns_to_ticks = 1000.0;  ///< ns -> timescale ticks
+};
+
+/// Renders a VCD document for `trace` over `pl`.  Events are grouped per
+/// producing gate; only value *changes* are emitted after the initial dump.
+std::string to_vcd(const pl::pl_netlist& pl, const std::vector<trace_event>& trace,
+                   const vcd_options& options = {});
+
+}  // namespace plee::sim

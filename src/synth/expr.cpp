@@ -1,0 +1,151 @@
+#include "synth/expr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace plee::syn {
+
+std::size_t expr_arena::node_key_hash::operator()(const node_key& k) const {
+    std::size_t h = static_cast<std::size_t>(k.op);
+    h = h * 1000003u ^ k.a;
+    h = h * 1000003u ^ k.b;
+    h = h * 1000003u ^ k.var_cell;
+    h = h * 1000003u ^ static_cast<std::size_t>(k.value);
+    return h;
+}
+
+expr_id expr_arena::intern(expr_node node) {
+    const node_key key{node.op, node.a, node.b, node.var_cell, node.value};
+    if (auto it = hash_.find(key); it != hash_.end()) return it->second;
+    const expr_id id = static_cast<expr_id>(nodes_.size());
+    if (node.a != k_invalid_expr) ++nodes_[node.a].use_count;
+    if (node.b != k_invalid_expr) ++nodes_[node.b].use_count;
+    nodes_.push_back(node);
+    hash_.emplace(key, id);
+    return id;
+}
+
+expr_id expr_arena::var(nl::cell_id cell) {
+    expr_node n;
+    n.op = expr_op::var;
+    n.var_cell = cell;
+    return intern(n);
+}
+
+expr_id expr_arena::konst(bool v) {
+    expr_node n;
+    n.op = expr_op::konst;
+    n.value = v;
+    return intern(n);
+}
+
+expr_id expr_arena::not_(expr_id a) {
+    const expr_node& na = nodes_[a];
+    if (na.op == expr_op::konst) return konst(!na.value);
+    if (na.op == expr_op::not_) return na.a;  // involution
+    expr_node n;
+    n.op = expr_op::not_;
+    n.a = a;
+    return intern(n);
+}
+
+expr_id expr_arena::and_(expr_id a, expr_id b) {
+    if (a == b) return a;
+    const expr_node& na = nodes_[a];
+    const expr_node& nb = nodes_[b];
+    if (na.op == expr_op::konst) return na.value ? b : konst(false);
+    if (nb.op == expr_op::konst) return nb.value ? a : konst(false);
+    if (a > b) std::swap(a, b);  // commutative normal form
+    expr_node n;
+    n.op = expr_op::and_;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+expr_id expr_arena::or_(expr_id a, expr_id b) {
+    if (a == b) return a;
+    const expr_node& na = nodes_[a];
+    const expr_node& nb = nodes_[b];
+    if (na.op == expr_op::konst) return na.value ? konst(true) : b;
+    if (nb.op == expr_op::konst) return nb.value ? konst(true) : a;
+    if (a > b) std::swap(a, b);
+    expr_node n;
+    n.op = expr_op::or_;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+expr_id expr_arena::xor_(expr_id a, expr_id b) {
+    if (a == b) return konst(false);
+    const expr_node& na = nodes_[a];
+    const expr_node& nb = nodes_[b];
+    if (na.op == expr_op::konst) return na.value ? not_(b) : b;
+    if (nb.op == expr_op::konst) return nb.value ? not_(a) : a;
+    if (a > b) std::swap(a, b);
+    expr_node n;
+    n.op = expr_op::xor_;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+expr_id expr_arena::mux(expr_id sel, expr_id a, expr_id b) {
+    if (a == b) return a;
+    return or_(and_(sel, a), and_(not_(sel), b));
+}
+
+expr_id expr_arena::reduce_balanced(std::vector<expr_id> xs, expr_op op,
+                                    bool identity) {
+    if (xs.empty()) return konst(identity);
+    while (xs.size() > 1) {
+        std::vector<expr_id> next;
+        next.reserve((xs.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+            switch (op) {
+                case expr_op::and_: next.push_back(and_(xs[i], xs[i + 1])); break;
+                case expr_op::or_: next.push_back(or_(xs[i], xs[i + 1])); break;
+                case expr_op::xor_: next.push_back(xor_(xs[i], xs[i + 1])); break;
+                default: throw std::logic_error("reduce_balanced: bad op");
+            }
+        }
+        if (xs.size() % 2 == 1) next.push_back(xs.back());
+        xs = std::move(next);
+    }
+    return xs.front();
+}
+
+expr_id expr_arena::and_all(const std::vector<expr_id>& xs) {
+    return reduce_balanced(xs, expr_op::and_, true);
+}
+
+expr_id expr_arena::or_all(const std::vector<expr_id>& xs) {
+    return reduce_balanced(xs, expr_op::or_, false);
+}
+
+expr_id expr_arena::xor_all(const std::vector<expr_id>& xs) {
+    return reduce_balanced(xs, expr_op::xor_, false);
+}
+
+bool expr_arena::eval(expr_id id,
+                      const std::unordered_map<nl::cell_id, bool>& assignment) const {
+    const expr_node& n = nodes_[id];
+    switch (n.op) {
+        case expr_op::var: {
+            auto it = assignment.find(n.var_cell);
+            if (it == assignment.end()) {
+                throw std::invalid_argument("expr eval: unassigned variable");
+            }
+            return it->second;
+        }
+        case expr_op::konst: return n.value;
+        case expr_op::not_: return !eval(n.a, assignment);
+        case expr_op::and_: return eval(n.a, assignment) && eval(n.b, assignment);
+        case expr_op::or_: return eval(n.a, assignment) || eval(n.b, assignment);
+        case expr_op::xor_: return eval(n.a, assignment) != eval(n.b, assignment);
+    }
+    return false;
+}
+
+}  // namespace plee::syn

@@ -1,0 +1,85 @@
+#include "synth/fsm.hpp"
+
+#include <stdexcept>
+
+namespace plee::syn {
+
+namespace {
+int bits_for(int num_states) {
+    int bits = 1;
+    while ((1 << bits) < num_states) ++bits;
+    return bits;
+}
+}  // namespace
+
+fsm_builder::fsm_builder(module_builder& m, const std::string& name,
+                         int num_states, int initial_state)
+    : m_(m), num_states_(num_states),
+      default_to_(static_cast<std::size_t>(num_states), -1) {
+    if (num_states < 1) throw std::invalid_argument("fsm_builder: need >= 1 state");
+    if (initial_state < 0 || initial_state >= num_states) {
+        throw std::invalid_argument("fsm_builder: initial state out of range");
+    }
+    state_q_ = m_.new_register(name + "_state", bits_for(num_states),
+                               static_cast<std::uint64_t>(initial_state));
+}
+
+expr_id fsm_builder::in_state(int s) const {
+    if (s < 0 || s >= num_states_) {
+        throw std::invalid_argument("fsm_builder::in_state: out of range");
+    }
+    return m_.eq_const(state_q_, static_cast<std::uint64_t>(s));
+}
+
+void fsm_builder::transition(int from, expr_id guard, int to) {
+    if (from < 0 || from >= num_states_ || to < 0 || to >= num_states_) {
+        throw std::invalid_argument("fsm_builder::transition: state out of range");
+    }
+    edges_.push_back({from, guard, to});
+}
+
+void fsm_builder::otherwise(int from, int to) {
+    if (from < 0 || from >= num_states_ || to < 0 || to >= num_states_) {
+        throw std::invalid_argument("fsm_builder::otherwise: state out of range");
+    }
+    default_to_[static_cast<std::size_t>(from)] = to;
+}
+
+void fsm_builder::finalize() {
+    if (finalized_) throw std::logic_error("fsm_builder::finalize: called twice");
+    finalized_ = true;
+
+    const int bits = state_bits();
+    // Two-level selection, the shape an RTL synthesis tool extracts from a
+    // VHDL case statement: fold each state's transitions (prioritized within
+    // the state, first declared wins) into a per-state next value, then
+    // combine across states through the mutually exclusive in_state
+    // predicates with an AND-OR network.  This keeps small FSMs flat instead
+    // of building one long priority-mux chain over every transition.
+    std::vector<std::vector<expr_id>> bit_terms(static_cast<std::size_t>(bits));
+    for (int s = 0; s < num_states_; ++s) {
+        const int d = default_to_[static_cast<std::size_t>(s)];
+        bus state_next =
+            d >= 0 ? m_.literal(static_cast<std::uint64_t>(d), bits)
+                   : m_.literal(static_cast<std::uint64_t>(s), bits);  // stay
+        for (auto it = edges_.rbegin(); it != edges_.rend(); ++it) {
+            if (it->from != s) continue;
+            state_next = m_.mux2(it->guard,
+                                 m_.literal(static_cast<std::uint64_t>(it->to), bits),
+                                 state_next);
+        }
+        const expr_id here = in_state(s);
+        for (int j = 0; j < bits; ++j) {
+            bit_terms[static_cast<std::size_t>(j)].push_back(
+                m_.arena().and_(here, state_next[static_cast<std::size_t>(j)]));
+        }
+    }
+    bus next;
+    next.reserve(static_cast<std::size_t>(bits));
+    for (int j = 0; j < bits; ++j) {
+        next.push_back(m_.arena().or_all(bit_terms[static_cast<std::size_t>(j)]));
+    }
+    m_.connect_register(state_q_, next);
+}
+
+}  // namespace plee::syn

@@ -1,0 +1,64 @@
+// fsm.hpp — finite-state-machine synthesis onto a binary-encoded register.
+//
+// Most of the smaller ITC99 benchmarks the paper measures (serial-flow
+// comparator, BCD recognizer, arbiter, interrupt handler, ...) are control
+// FSMs.  fsm_builder captures a symbolic state graph with prioritized guarded
+// transitions and lowers it to next-state logic on a module_builder register,
+// mirroring how an RTL synthesis tool would encode a VHDL case statement.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/rtl.hpp"
+
+namespace plee::syn {
+
+class fsm_builder {
+public:
+    /// `num_states` >= 1; states are indexed 0..num_states-1 and encoded in
+    /// binary over ceil(log2(num_states)) register bits initialized to
+    /// `initial_state`.
+    fsm_builder(module_builder& m, const std::string& name, int num_states,
+                int initial_state);
+
+    /// Predicate expression "FSM is currently in state s".  Usable both in
+    /// transition guards and for Moore/Mealy output logic.
+    expr_id in_state(int s) const;
+
+    /// The raw state register Q bus (binary encoded).
+    const bus& state() const { return state_q_; }
+
+    /// Adds a guarded transition.  Within one source state, transitions are
+    /// prioritized in declaration order (first match wins), mirroring VHDL
+    /// if/elsif chains.
+    void transition(int from, expr_id guard, int to);
+
+    /// Unconditional fallback for `from` (defaults to "stay" if never set).
+    void otherwise(int from, int to);
+
+    /// Builds the next-state logic and connects the state register.  Must be
+    /// called exactly once, before module_builder::build().
+    void finalize();
+
+    int num_states() const { return num_states_; }
+    int state_bits() const { return static_cast<int>(state_q_.size()); }
+
+private:
+    struct edge {
+        int from;
+        expr_id guard;
+        int to;
+    };
+
+    module_builder& m_;
+    int num_states_;
+    bus state_q_;
+    std::vector<edge> edges_;
+    std::vector<int> default_to_;  ///< -1 = stay
+    bool finalized_ = false;
+};
+
+}  // namespace plee::syn

@@ -1,0 +1,163 @@
+#include "synth/tech_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace plee::syn {
+
+tech_mapper::tech_mapper(expr_arena& arena, nl::netlist& nl, int max_fanin)
+    : arena_(arena), nl_(nl), max_fanin_(max_fanin) {
+    if (max_fanin < 2 || max_fanin > 4) {
+        throw std::invalid_argument("tech_mapper: max_fanin must be in [2, 4]");
+    }
+}
+
+tech_mapper::cone tech_mapper::leaf_cone(nl::cell_id cell) {
+    return cone{{cell}, bf::truth_table::variable(1, 0)};
+}
+
+tech_mapper::cone tech_mapper::apply_not(const cone& a) {
+    return cone{a.leaves, ~a.fn};
+}
+
+tech_mapper::cone tech_mapper::merge(const cone& a, const cone& b, expr_op op) {
+    // Union of leaves, ascending and distinct.
+    std::vector<nl::cell_id> leaves = a.leaves;
+    leaves.insert(leaves.end(), b.leaves.begin(), b.leaves.end());
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+
+    const int k = static_cast<int>(leaves.size());
+    if (k > max_fanin_) {
+        throw std::logic_error("tech_mapper::merge: leaf budget exceeded");
+    }
+
+    auto position = [&leaves](nl::cell_id cell) {
+        return static_cast<int>(std::lower_bound(leaves.begin(), leaves.end(), cell) -
+                                leaves.begin());
+    };
+    auto project = [&](const cone& c, std::uint32_t merged_minterm) {
+        std::uint32_t local = 0;
+        for (std::size_t i = 0; i < c.leaves.size(); ++i) {
+            if ((merged_minterm >> position(c.leaves[i])) & 1u) local |= 1u << i;
+        }
+        return c.fn.eval(local);
+    };
+
+    bf::truth_table fn = bf::truth_table::from_function(k, [&](std::uint32_t m) {
+        const bool va = project(a, m);
+        const bool vb = project(b, m);
+        switch (op) {
+            case expr_op::and_: return va && vb;
+            case expr_op::or_: return va || vb;
+            case expr_op::xor_: return va != vb;
+            default: throw std::logic_error("tech_mapper::merge: bad op");
+        }
+    });
+    return cone{std::move(leaves), std::move(fn)};
+}
+
+nl::cell_id tech_mapper::materialize(const cone& c) {
+    if (c.leaves.empty()) {
+        return nl_.add_constant(c.fn.eval(0));
+    }
+    if (c.leaves.size() == 1 && c.fn == bf::truth_table::variable(1, 0)) {
+        return c.leaves.front();  // plain wire: no cell needed
+    }
+    // Trim vacuous leaves so every emitted LUT has a full support.
+    const std::uint32_t support = c.fn.support_mask();
+    if (support == 0) return nl_.add_constant(c.fn.eval(0));
+    std::vector<nl::cell_id> live;
+    std::vector<int> pos;
+    for (int i = 0; i < static_cast<int>(c.leaves.size()); ++i) {
+        if (support & (1u << i)) {
+            live.push_back(c.leaves[static_cast<std::size_t>(i)]);
+            pos.push_back(i);
+        }
+    }
+    if (live.size() != c.leaves.size()) {
+        bf::truth_table packed = bf::truth_table::from_function(
+            static_cast<int>(live.size()), [&](std::uint32_t m) {
+                std::uint32_t full = 0;
+                for (std::size_t i = 0; i < pos.size(); ++i) {
+                    if ((m >> i) & 1u) full |= 1u << pos[i];
+                }
+                return c.fn.eval(full);
+            });
+        if (live.size() == 1 && packed == bf::truth_table::variable(1, 0)) {
+            return live.front();
+        }
+        return nl_.add_lut(packed, std::move(live));
+    }
+    return nl_.add_lut(c.fn, c.leaves);
+}
+
+tech_mapper::cone tech_mapper::cone_of(expr_id id) {
+    if (auto it = cone_memo_.find(id); it != cone_memo_.end()) return it->second;
+    if (auto it = cell_memo_.find(id); it != cell_memo_.end()) {
+        return leaf_cone(it->second);
+    }
+
+    const expr_node& n = arena_.at(id);
+    cone result;
+    switch (n.op) {
+        case expr_op::var:
+            result = leaf_cone(n.var_cell);
+            break;
+        case expr_op::konst:
+            result = cone{{}, bf::truth_table::constant(0, n.value)};
+            break;
+        case expr_op::not_:
+            result = apply_not(cone_of(n.a));
+            break;
+        case expr_op::and_:
+        case expr_op::or_:
+        case expr_op::xor_: {
+            cone ca = cone_of(n.a);
+            cone cb = cone_of(n.b);
+            // Try direct packing; on overflow, materialize the wider operand
+            // (then, if needed, the other) to shrink it to a single leaf.
+            auto merged_size = [](const cone& x, const cone& y) {
+                std::vector<nl::cell_id> u = x.leaves;
+                u.insert(u.end(), y.leaves.begin(), y.leaves.end());
+                std::sort(u.begin(), u.end());
+                u.erase(std::unique(u.begin(), u.end()), u.end());
+                return static_cast<int>(u.size());
+            };
+            if (merged_size(ca, cb) > max_fanin_) {
+                if (ca.leaves.size() >= cb.leaves.size()) {
+                    ca = leaf_cone(materialize(ca));
+                } else {
+                    cb = leaf_cone(materialize(cb));
+                }
+            }
+            if (merged_size(ca, cb) > max_fanin_) {
+                if (ca.leaves.size() > 1) ca = leaf_cone(materialize(ca));
+                if (merged_size(ca, cb) > max_fanin_) cb = leaf_cone(materialize(cb));
+            }
+            result = merge(ca, cb, n.op);
+            break;
+        }
+    }
+
+    // Shared subexpressions become shared LUTs: materialize once, then hand
+    // parents a leaf cone over the shared cell.
+    const bool shared_op_node = n.use_count > 1 && n.op != expr_op::var &&
+                                n.op != expr_op::konst && result.leaves.size() >= 1;
+    if (shared_op_node) {
+        const nl::cell_id cell = materialize(result);
+        cell_memo_.emplace(id, cell);
+        result = leaf_cone(cell);
+    }
+    cone_memo_.emplace(id, result);
+    return result;
+}
+
+nl::cell_id tech_mapper::lower(expr_id root) {
+    if (auto it = cell_memo_.find(root); it != cell_memo_.end()) return it->second;
+    const nl::cell_id cell = materialize(cone_of(root));
+    cell_memo_.emplace(root, cell);
+    return cell;
+}
+
+}  // namespace plee::syn

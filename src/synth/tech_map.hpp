@@ -1,0 +1,51 @@
+// tech_map.hpp — greedy cone-packing technology mapper onto LUT4 cells.
+//
+// Every Phased Logic gate in the paper's implementation realizes a 4-input
+// look-up table ("our restriction to a LUT4 in the PL gate allows for the
+// [exhaustive trigger] approach to be practical").  This mapper lowers an
+// expression DAG into a netlist of LUTs with at most `max_fanin` inputs
+// (default 4) by packing operator trees into single-output cones while the
+// merged leaf support stays within the fanin budget.  Multi-fanout
+// subexpressions are materialized once and shared.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "netlist/netlist.hpp"
+#include "synth/expr.hpp"
+
+namespace plee::syn {
+
+class tech_mapper {
+public:
+    /// `max_fanin` must be in [2, 4]; 4 matches the paper's PL gate.
+    tech_mapper(expr_arena& arena, nl::netlist& nl, int max_fanin = 4);
+
+    /// Lowers `root` to a cell driving an equivalent net.  Idempotent per
+    /// expression node; shared nodes map to shared cells.
+    nl::cell_id lower(expr_id root);
+
+private:
+    /// A single-output cone: a function over at most `max_fanin_` leaf cells.
+    struct cone {
+        std::vector<nl::cell_id> leaves;  ///< distinct, ascending
+        bf::truth_table fn{0};            ///< arity == leaves.size()
+    };
+
+    cone cone_of(expr_id id);
+    cone merge(const cone& a, const cone& b, expr_op op);
+    static cone apply_not(const cone& a);
+    /// Emits the cone as a LUT (or reuses a wire / constant for trivial
+    /// cones) and returns the driving cell.
+    nl::cell_id materialize(const cone& c);
+    static cone leaf_cone(nl::cell_id cell);
+
+    expr_arena& arena_;
+    nl::netlist& nl_;
+    int max_fanin_;
+    std::unordered_map<expr_id, cone> cone_memo_;
+    std::unordered_map<expr_id, nl::cell_id> cell_memo_;
+};
+
+}  // namespace plee::syn

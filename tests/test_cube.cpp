@@ -1,0 +1,160 @@
+// Unit tests for cubes, cube lists and the Quine–McCluskey cover extraction
+// that feeds the paper's Table 2 trigger derivation.
+
+#include "bool/cube.hpp"
+#include "bool/cube_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plee::bf {
+namespace {
+
+TEST(Cube, ParseAndPrintPositionalNotation) {
+    const cube c = cube::from_string("00-");
+    EXPECT_EQ(c.to_string(3), "00-");
+    EXPECT_EQ(c.num_literals(), 2);
+    EXPECT_EQ(c.num_minterms(3), 2u);
+    EXPECT_TRUE(c.contains(0b000));
+    EXPECT_TRUE(c.contains(0b100));  // c (var2) free
+    EXPECT_FALSE(c.contains(0b001));
+}
+
+TEST(Cube, MintermCube) {
+    const cube c = cube::minterm(3, 0b101);
+    EXPECT_EQ(c.to_string(3), "101");
+    EXPECT_EQ(c.num_minterms(3), 1u);
+    EXPECT_TRUE(c.contains(0b101));
+    EXPECT_FALSE(c.contains(0b100));
+}
+
+TEST(Cube, RejectsInvalidConstruction) {
+    EXPECT_THROW(cube(0b01, 0b10), std::invalid_argument);  // value outside care
+    EXPECT_THROW(cube::from_string("0x-"), std::invalid_argument);
+    EXPECT_THROW(cube::minterm(2, 4), std::invalid_argument);
+}
+
+TEST(Cube, WithinSupport) {
+    const cube ab = cube::from_string("11-");
+    EXPECT_TRUE(ab.within_support(0b011));   // {a,b}
+    EXPECT_TRUE(ab.within_support(0b111));
+    EXPECT_FALSE(ab.within_support(0b101));  // {a,c} misses b
+}
+
+TEST(Cube, CoversAndIntersects) {
+    const cube broad = cube::from_string("1--");
+    const cube narrow = cube::from_string("10-");
+    const cube other = cube::from_string("0--");
+    EXPECT_TRUE(broad.covers(narrow));
+    EXPECT_FALSE(narrow.covers(broad));
+    EXPECT_TRUE(broad.intersects(narrow));
+    EXPECT_FALSE(broad.intersects(other));
+    EXPECT_TRUE(cube().covers(broad));  // universal cube covers everything
+}
+
+TEST(Cube, TruthTableForm) {
+    const cube c = cube::from_string("1-0");
+    const truth_table t = c.to_truth_table(3);
+    for (std::uint32_t m = 0; m < 8; ++m) {
+        EXPECT_EQ(t.eval(m), c.contains(m));
+    }
+}
+
+TEST(CubeList, EvalIsDisjunction) {
+    cube_list cl(3);
+    cl.add(cube::from_string("00-"));
+    cl.add(cube::from_string("11-"));
+    EXPECT_TRUE(cl.eval(0b000));
+    EXPECT_TRUE(cl.eval(0b011));
+    EXPECT_FALSE(cl.eval(0b001));
+    EXPECT_EQ(cl.count_covered_minterms(), 4);
+    EXPECT_EQ(cl.to_string(), "{00-, 11-}");
+}
+
+TEST(CubeList, RestrictedToSupport) {
+    cube_list cl(3);
+    cl.add(cube::from_string("00-"));   // {a,b}
+    cl.add(cube::from_string("1-1"));   // {a,c}
+    cl.add(cube::from_string("-11"));   // {b,c}
+    const cube_list ab = cl.restricted_to_support(0b011);
+    ASSERT_EQ(ab.size(), 1u);
+    EXPECT_EQ(ab.cubes().front().to_string(3), "00-");
+}
+
+TEST(QuineMcCluskey, PrimesOfXor2) {
+    // x0 XOR x1 has no merging: primes are the two minterms.
+    const truth_table f = truth_table::variable(2, 0) ^ truth_table::variable(2, 1);
+    const std::vector<cube> primes = prime_implicants(f);
+    EXPECT_EQ(primes.size(), 2u);
+}
+
+TEST(QuineMcCluskey, PrimesOfOr2) {
+    // x0 OR x1: primes are 1- and -1.
+    const truth_table f = truth_table::variable(2, 0) | truth_table::variable(2, 1);
+    const std::vector<cube> primes = prime_implicants(f);
+    EXPECT_EQ(primes.size(), 2u);
+    for (const cube& p : primes) EXPECT_EQ(p.num_literals(), 1);
+}
+
+TEST(QuineMcCluskey, CoverEqualsFunctionAcrossShapes) {
+    const std::vector<std::string> shapes = {
+        "00010111",          // full-adder carry
+        "01101001",          // 3-var parity (worst case: all minterms prime)
+        "11111111",          // constant one
+        "00000000",          // constant zero
+        "0001011101111111",  // 4-var majority-ish
+        "0110100110010110",  // 4-var parity
+    };
+    for (const std::string& rows : shapes) {
+        const truth_table f = truth_table::from_string(rows);
+        const cube_list cover = isop_cover(f);
+        EXPECT_EQ(cover.to_truth_table(), f) << rows;
+    }
+}
+
+TEST(QuineMcCluskey, FullAdderCarryCoverMatchesPaperTable2) {
+    // Table 2 lists the master ON cubes {11-, 1-1, -11} and OFF cubes
+    // {00-, 010, 100}; our greedy cover must reproduce the ON/OFF structure:
+    // the two cubes confined to {a,b} are "11-" (ON) and "00-" (OFF).
+    const truth_table a = truth_table::variable(3, 0);
+    const truth_table b = truth_table::variable(3, 1);
+    const truth_table c = truth_table::variable(3, 2);
+    const truth_table carry = (c & (a | b)) | (a & b);
+
+    const on_off_cover cover = make_on_off_cover(carry);
+    EXPECT_EQ(cover.on.to_truth_table(), carry);
+    EXPECT_EQ(cover.off.to_truth_table(), ~carry);
+
+    const cube_list on_ab = cover.on.restricted_to_support(0b011);
+    ASSERT_EQ(on_ab.size(), 1u);
+    EXPECT_EQ(on_ab.cubes().front().to_string(3), "11-");
+
+    const cube_list off_ab = cover.off.restricted_to_support(0b011);
+    ASSERT_EQ(off_ab.size(), 1u);
+    EXPECT_EQ(off_ab.cubes().front().to_string(3), "00-");
+
+    // Each of those two cubes covers 2 of the 8 minterms in the 3-var space
+    // (Table 2's "Coverage" column), 4/8 = 50% in total.
+    EXPECT_EQ(on_ab.cubes().front().num_minterms(3), 2u);
+    EXPECT_EQ(off_ab.cubes().front().num_minterms(3), 2u);
+}
+
+// Parameterized QM property: cover == function for pseudo-random tables.
+class QmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QmProperty, CoverIsExact) {
+    std::uint64_t x = GetParam();
+    for (int arity = 2; arity <= 5; ++arity) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t mask =
+            arity == 6 ? ~0ull : ((1ull << (1 << arity)) - 1);
+        const truth_table f(arity, x & mask);
+        EXPECT_EQ(isop_cover(f).to_truth_table(), f) << "arity " << arity;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u, 144u, 233u));
+
+}  // namespace
+}  // namespace plee::bf

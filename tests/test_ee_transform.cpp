@@ -1,0 +1,143 @@
+// Tests for the Early Evaluation netlist transform: trigger gates are
+// attached where profitable, pairing metadata is consistent, and the marked
+// graph stays live and safe (the Section 3 requirement).
+
+#include "ee/ee_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+
+#include "plogic/pl_mapper.hpp"
+#include "synth/rtl.hpp"
+
+namespace plee::ee {
+namespace {
+
+/// An 8-bit ripple adder over registered operands: the carry chain gives a
+/// deep arrival profile, the classic EE target.
+nl::netlist ripple_adder() {
+    syn::module_builder m("adder");
+    const syn::bus a = m.input_bus("a", 8);
+    const syn::bus b = m.input_bus("b", 8);
+    const auto r = m.add(a, b);
+    m.output_bus("sum", r.sum);
+    m.output("cout", r.carry);
+    return m.build();
+}
+
+TEST(EeTransform, AddsTriggersToAdder) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    const std::size_t gates_before = mapped.pl.num_pl_gates();
+
+    const ee_stats stats = apply_early_evaluation(mapped.pl);
+    EXPECT_GT(stats.triggers_added, 0u);
+    EXPECT_EQ(stats.triggers_added, mapped.pl.num_trigger_gates());
+    EXPECT_EQ(stats.applied.size(), stats.triggers_added);
+    // The paper's "PL Gates" count excludes the EE gates.
+    EXPECT_EQ(mapped.pl.num_pl_gates(), gates_before);
+}
+
+TEST(EeTransform, GraphStaysLiveAndSafe) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    apply_early_evaluation(mapped.pl);
+    const pl::mg_report report = mapped.pl.verify();
+    EXPECT_TRUE(report.well_formed);
+    EXPECT_TRUE(report.live);
+    EXPECT_TRUE(report.safe);
+}
+
+TEST(EeTransform, PairingMetadataConsistent) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    const ee_stats stats = apply_early_evaluation(mapped.pl);
+    for (const applied_trigger& at : stats.applied) {
+        const pl::pl_gate& master = mapped.pl.gate(at.master);
+        const pl::pl_gate& trig = mapped.pl.gate(at.trigger);
+        EXPECT_EQ(master.trigger, at.trigger);
+        EXPECT_EQ(trig.master, at.master);
+        EXPECT_EQ(trig.kind, pl::gate_kind::trigger);
+        EXPECT_NE(master.efire_in, pl::k_invalid_edge);
+        // The efire edge runs trigger -> master.
+        const pl::pl_edge& efire = mapped.pl.edge(master.efire_in);
+        EXPECT_EQ(efire.from, at.trigger);
+        EXPECT_EQ(efire.to, at.master);
+        // Trigger taps exactly the support pins of the master.
+        EXPECT_EQ(trig.data_in.size(),
+                  static_cast<std::size_t>(std::popcount(at.candidate.support)));
+        EXPECT_EQ(trig.function, at.candidate.function);
+        // Tapped producers match the master's pins.
+        std::size_t t = 0;
+        for (std::size_t pin = 0; pin < master.data_in.size(); ++pin) {
+            if (!(at.candidate.support & (1u << pin))) continue;
+            EXPECT_EQ(mapped.pl.edge(trig.data_in[t]).from,
+                      mapped.pl.edge(master.data_in[pin]).from);
+            ++t;
+        }
+    }
+}
+
+TEST(EeTransform, ThresholdReducesTriggerCount) {
+    // "Thresholding the cost function allows for a tradeoff in area versus
+    // delay": monotone decrease in EE gates with rising threshold.
+    std::size_t prev = std::numeric_limits<std::size_t>::max();
+    for (double threshold : {0.0, 100.0, 300.0, 1e9}) {
+        pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+        ee_options opts;
+        opts.search.cost_threshold = threshold;
+        const ee_stats stats = apply_early_evaluation(mapped.pl, opts);
+        EXPECT_LE(stats.triggers_added, prev);
+        prev = stats.triggers_added;
+    }
+    EXPECT_EQ(prev, 0u);  // an absurd threshold suppresses all EE
+}
+
+TEST(EeTransform, CubeListMethodAlsoWorks) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    ee_options opts;
+    opts.search.method = trigger_method::cube_list;
+    const ee_stats stats = apply_early_evaluation(mapped.pl, opts);
+    EXPECT_GT(stats.triggers_added, 0u);
+    EXPECT_TRUE(mapped.pl.verify().ok());
+}
+
+TEST(EeTransform, NoTriggersWithoutArrivalSkew) {
+    // Single-level circuit: every master input arrives at depth 0, so no
+    // candidate passes the Tmax < Mmax test and no EE gate is added.
+    syn::module_builder m("flat");
+    auto& a = m.arena();
+    const syn::expr_id x = m.input("x");
+    const syn::expr_id y = m.input("y");
+    const syn::expr_id z = m.input("z");
+    m.output("f", a.or_(a.and_(x, y), z));
+    pl::map_result mapped = pl::map_to_phased_logic(m.build());
+    const ee_stats stats = apply_early_evaluation(mapped.pl);
+    EXPECT_EQ(stats.triggers_added, 0u);
+    EXPECT_GT(stats.masters_considered, 0u);
+}
+
+TEST(EeTransform, AppliedCandidatesRespectPolicy) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    ee_options opts;
+    opts.search.cost_threshold = 50.0;
+    const ee_stats stats = apply_early_evaluation(mapped.pl, opts);
+    for (const applied_trigger& at : stats.applied) {
+        EXPECT_GT(at.candidate.cost, 50.0);
+        EXPECT_LT(at.candidate.trigger_max_arrival, at.candidate.master_max_arrival);
+        EXPECT_GT(at.candidate.covered_minterms, 0);
+    }
+}
+
+TEST(EeTransform, IdempotencePerMasterIsEnforced) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    const ee_stats first = apply_early_evaluation(mapped.pl);
+    ASSERT_GT(first.triggers_added, 0u);
+    // Re-attaching a trigger to an already-paired master must throw.
+    EXPECT_THROW(mapped.pl.attach_trigger(first.applied.front().master,
+                                          first.applied.front().candidate.function,
+                                          first.applied.front().candidate.support),
+                 std::logic_error);
+}
+
+}  // namespace
+}  // namespace plee::ee

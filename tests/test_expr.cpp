@@ -1,0 +1,114 @@
+// Tests for the structurally-hashed expression arena.
+
+#include "synth/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plee::syn {
+namespace {
+
+TEST(Expr, StructuralHashingUnifiesEqualTerms) {
+    expr_arena a;
+    const expr_id x = a.var(0);
+    const expr_id y = a.var(1);
+    EXPECT_EQ(a.and_(x, y), a.and_(x, y));
+    EXPECT_EQ(a.and_(x, y), a.and_(y, x));  // commutative normal form
+    EXPECT_EQ(a.var(0), x);
+}
+
+TEST(Expr, ConstantFolding) {
+    expr_arena a;
+    const expr_id x = a.var(0);
+    const expr_id t = a.konst(true);
+    const expr_id f = a.konst(false);
+    EXPECT_EQ(a.and_(x, t), x);
+    EXPECT_EQ(a.and_(x, f), f);
+    EXPECT_EQ(a.or_(x, f), x);
+    EXPECT_EQ(a.or_(x, t), t);
+    EXPECT_EQ(a.xor_(x, f), x);
+    EXPECT_EQ(a.xor_(x, t), a.not_(x));
+    EXPECT_EQ(a.not_(t), f);
+}
+
+TEST(Expr, Simplifications) {
+    expr_arena a;
+    const expr_id x = a.var(0);
+    EXPECT_EQ(a.and_(x, x), x);
+    EXPECT_EQ(a.or_(x, x), x);
+    EXPECT_EQ(a.xor_(x, x), a.konst(false));
+    EXPECT_EQ(a.not_(a.not_(x)), x);  // involution
+}
+
+TEST(Expr, EvalMatchesSemantics) {
+    expr_arena a;
+    const expr_id x = a.var(10);
+    const expr_id y = a.var(11);
+    const expr_id e = a.or_(a.and_(x, a.not_(y)), a.xor_(x, y));
+    for (bool xv : {false, true}) {
+        for (bool yv : {false, true}) {
+            const bool expected = (xv && !yv) || (xv != yv);
+            EXPECT_EQ(a.eval(e, {{10, xv}, {11, yv}}), expected);
+        }
+    }
+}
+
+TEST(Expr, EvalRejectsUnassignedVariable) {
+    expr_arena a;
+    const expr_id x = a.var(7);
+    EXPECT_THROW(a.eval(x, {}), std::invalid_argument);
+}
+
+TEST(Expr, MuxSemantics) {
+    expr_arena a;
+    const expr_id s = a.var(0);
+    const expr_id p = a.var(1);
+    const expr_id q = a.var(2);
+    const expr_id m = a.mux(s, p, q);
+    for (int bits = 0; bits < 8; ++bits) {
+        const bool sv = bits & 1, pv = bits & 2, qv = bits & 4;
+        EXPECT_EQ(a.eval(m, {{0, sv}, {1, pv}, {2, qv}}), sv ? pv : qv);
+    }
+    EXPECT_EQ(a.mux(s, p, p), p);  // both branches equal
+}
+
+TEST(Expr, BalancedReductions) {
+    expr_arena a;
+    std::vector<expr_id> xs;
+    for (nl::cell_id i = 0; i < 5; ++i) xs.push_back(a.var(i));
+    const expr_id all = a.and_all(xs);
+    const expr_id any = a.or_all(xs);
+    const expr_id parity = a.xor_all(xs);
+
+    for (std::uint32_t m = 0; m < 32; ++m) {
+        std::unordered_map<nl::cell_id, bool> env;
+        int ones = 0;
+        for (nl::cell_id i = 0; i < 5; ++i) {
+            const bool v = (m >> i) & 1u;
+            env[i] = v;
+            ones += v;
+        }
+        EXPECT_EQ(a.eval(all, env), ones == 5);
+        EXPECT_EQ(a.eval(any, env), ones > 0);
+        EXPECT_EQ(a.eval(parity, env), (ones % 2) == 1);
+    }
+}
+
+TEST(Expr, EmptyReductionsYieldIdentity) {
+    expr_arena a;
+    EXPECT_EQ(a.and_all({}), a.konst(true));
+    EXPECT_EQ(a.or_all({}), a.konst(false));
+    EXPECT_EQ(a.xor_all({}), a.konst(false));
+}
+
+TEST(Expr, UseCountsTrackSharing) {
+    expr_arena a;
+    const expr_id x = a.var(0);
+    const expr_id y = a.var(1);
+    const expr_id shared = a.and_(x, y);
+    a.or_(shared, x);
+    a.xor_(shared, y);
+    EXPECT_GE(a.at(shared).use_count, 2u);
+}
+
+}  // namespace
+}  // namespace plee::syn

@@ -1,0 +1,99 @@
+// Tests for LEDR encoding and the Muller-C element (Section 2.1 / Figure 1).
+
+#include "plogic/ledr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace plee::pl {
+namespace {
+
+TEST(Ledr, PhaseIsVXorT) {
+    EXPECT_EQ((ledr_signal{false, false}).signal_phase(), phase::even);
+    EXPECT_EQ((ledr_signal{true, true}).signal_phase(), phase::even);
+    EXPECT_EQ((ledr_signal{true, false}).signal_phase(), phase::odd);
+    EXPECT_EQ((ledr_signal{false, true}).signal_phase(), phase::odd);
+}
+
+TEST(Ledr, NextTokenAlternatesPhase) {
+    ledr_signal s{false, false};
+    for (int i = 0; i < 16; ++i) {
+        const bool value = (i * 7 % 3) == 1;
+        const ledr_signal n = s.next_token(value);
+        EXPECT_EQ(n.v, value);
+        EXPECT_EQ(n.signal_phase(), opposite(s.signal_phase()));
+        s = n;
+    }
+}
+
+TEST(Ledr, ExactlyOneRailTogglesPerToken) {
+    // The delay-insensitivity property: successive LEDR codewords are at
+    // Hamming distance 1, so no transient multi-rail transitions exist.
+    ledr_signal s{false, false};
+    for (int i = 0; i < 32; ++i) {
+        const bool value = (i & 5) == 4 || (i % 3) == 0;
+        const ledr_signal n = s.next_token(value);
+        EXPECT_EQ(ledr_signal::hamming(s, n), 1) << "step " << i;
+        s = n;
+    }
+}
+
+TEST(Ledr, SameValueTogglesTimingRail) {
+    const ledr_signal s{true, false};  // value 1, odd
+    const ledr_signal n = s.next_token(true);
+    EXPECT_EQ(n.v, true);
+    EXPECT_NE(n.t, s.t);  // value unchanged -> timing rail moved
+}
+
+TEST(Ledr, ValueChangeTogglesValueRail) {
+    const ledr_signal s{true, false};
+    const ledr_signal n = s.next_token(false);
+    EXPECT_EQ(n.v, false);
+    EXPECT_EQ(n.t, s.t);  // value rail moved, timing rail held
+}
+
+TEST(Ledr, ToStringMentionsPhase) {
+    EXPECT_EQ((ledr_signal{true, false}).to_string(), "(v=1,t=0,odd)");
+    EXPECT_EQ(std::string(to_string(phase::even)), "even");
+}
+
+TEST(MullerC, HoldsUntilConsensus) {
+    muller_c c(false);
+    EXPECT_FALSE(c.update({true, false}));   // disagree: hold 0
+    EXPECT_TRUE(c.update({true, true}));     // consensus 1: switch
+    EXPECT_TRUE(c.update({false, true}));    // disagree: hold 1
+    EXPECT_FALSE(c.update({false, false}));  // consensus 0: switch
+}
+
+TEST(MullerC, MultiInputConsensus) {
+    muller_c c(false);
+    EXPECT_FALSE(c.update({true, true, false, true}));
+    EXPECT_TRUE(c.update({true, true, true, true}));
+    EXPECT_TRUE(c.update({false, false, false, true}));
+    EXPECT_FALSE(c.update({false, false, false, false}));
+}
+
+TEST(MullerC, GatePhaseCompletionDetection) {
+    // The PL gate fires when all input phases agree with each other and
+    // differ from the gate phase: emulate with phase bits into a C-element.
+    muller_c gate_phase(false);
+    std::vector<ledr_signal> inputs(4);
+    // All inputs emit odd-phase tokens -> the C-element output toggles to 1.
+    std::vector<bool> phases;
+    for (auto& s : inputs) {
+        s = s.next_token(true);
+        phases.push_back(s.signal_phase() == phase::odd);
+    }
+    EXPECT_TRUE(gate_phase.update(phases));
+    // Next wave: all even again -> toggles back.
+    phases.clear();
+    for (auto& s : inputs) {
+        s = s.next_token(false);
+        phases.push_back(s.signal_phase() == phase::odd);
+    }
+    EXPECT_FALSE(gate_phase.update(phases));
+}
+
+}  // namespace
+}  // namespace plee::pl

@@ -1,0 +1,162 @@
+// Tests for marked-graph theory: firing semantics and the well-formed /
+// live / safe verification that Section 2 requires of every PL netlist.
+
+#include "plogic/marked_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plee::pl {
+namespace {
+
+// A two-gate ring: a -> b (1 token), b -> a (0 tokens).
+marked_graph make_ring2(int tokens_ab, int tokens_ba) {
+    marked_graph g(2);
+    g.add_edge(0, 1, tokens_ab);
+    g.add_edge(1, 0, tokens_ba);
+    return g;
+}
+
+TEST(MarkedGraph, RingWithOneTokenIsLiveAndSafe) {
+    const mg_report r = make_ring2(1, 0).verify();
+    EXPECT_TRUE(r.well_formed);
+    EXPECT_TRUE(r.live);
+    EXPECT_TRUE(r.safe);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.violation.empty());
+}
+
+TEST(MarkedGraph, TokenFreeRingIsNotLive) {
+    const mg_report r = make_ring2(0, 0).verify();
+    EXPECT_TRUE(r.well_formed);
+    EXPECT_FALSE(r.live);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.violation.empty());
+}
+
+TEST(MarkedGraph, DoubleTokenRingIsNotSafe) {
+    const mg_report r = make_ring2(1, 1).verify();
+    EXPECT_TRUE(r.well_formed);
+    EXPECT_TRUE(r.live);
+    EXPECT_FALSE(r.safe);
+}
+
+TEST(MarkedGraph, EdgeWithTwoTokensIsNotSafe) {
+    const mg_report r = make_ring2(2, 0).verify();
+    EXPECT_FALSE(r.safe);
+}
+
+TEST(MarkedGraph, DanglingEdgeIsNotWellFormed) {
+    marked_graph g(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 0, 0);
+    g.add_edge(1, 2, 1);  // node 2 has no path back: not on any circuit
+    const mg_report r = g.verify();
+    EXPECT_FALSE(r.well_formed);
+}
+
+TEST(MarkedGraph, SelfLoopWithTokenIsFine) {
+    marked_graph g(1);
+    g.add_edge(0, 0, 1);
+    const mg_report r = g.verify();
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(MarkedGraph, LongPipelineAlternatingTokens) {
+    // 6-stage ring with forward data edges (tokens on stage 0 only) and
+    // backward ack edges carrying the complementary marking: live and safe.
+    marked_graph g(6);
+    for (node_id i = 0; i < 6; ++i) {
+        const node_id j = (i + 1) % 6;
+        const int m = i == 0 ? 1 : 0;
+        g.add_edge(i, j, m);
+        g.add_edge(j, i, 1 - m);
+    }
+    EXPECT_TRUE(g.verify().ok());
+}
+
+TEST(MarkedGraph, ThreeRingWithTwoTokensIsNotSafe) {
+    // The only cycle carries two tokens, so both can pile up on the edge
+    // into node 0 (occupancy bound = min cycle count = 2): unsafe.
+    marked_graph g(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(2, 0, 0);
+    const mg_report r = g.verify();
+    EXPECT_TRUE(r.well_formed);
+    EXPECT_TRUE(r.live);
+    EXPECT_FALSE(r.safe);
+}
+
+TEST(MarkedGraph, TwoTokenOuterCycleWithSafeInnerCyclesIsSafe) {
+    // The outer cycle 0->1->2->0 carries two tokens, but every edge also
+    // lies on a single-token 2-cycle, so per the occupancy theorem no edge
+    // ever holds more than one token: the marking is safe.
+    marked_graph g(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 0, 0);
+    g.add_edge(1, 2, 1);
+    g.add_edge(2, 1, 0);
+    g.add_edge(2, 0, 0);
+    g.add_edge(0, 2, 1);
+    const mg_report r = g.verify();
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(MarkedGraph, FiringMovesTokens) {
+    marked_graph g = make_ring2(1, 0);
+    EXPECT_TRUE(g.enabled(1));
+    EXPECT_FALSE(g.enabled(0));
+    EXPECT_TRUE(g.fire(1));
+    EXPECT_EQ(g.edges()[0].tokens, 0);
+    EXPECT_EQ(g.edges()[1].tokens, 1);
+    EXPECT_TRUE(g.enabled(0));
+    EXPECT_FALSE(g.fire(1));  // no longer enabled
+}
+
+TEST(MarkedGraph, TokenCountOnCyclesInvariantUnderFiring) {
+    marked_graph g(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 0);
+    g.add_edge(2, 0, 0);
+    const int before = g.total_tokens();
+    ASSERT_TRUE(g.fire(1));
+    ASSERT_TRUE(g.fire(2));
+    ASSERT_TRUE(g.fire(0));
+    EXPECT_EQ(g.total_tokens(), before);
+    EXPECT_TRUE(g.verify().ok());
+}
+
+TEST(MarkedGraph, LivenessPreservedByFiring) {
+    // Firing never changes cycle token counts, so verify() is invariant.
+    marked_graph g(4);
+    for (node_id i = 0; i < 4; ++i) {
+        const node_id j = (i + 1) % 4;
+        g.add_edge(i, j, i == 0 ? 1 : 0);
+        g.add_edge(j, i, i == 0 ? 0 : 1);
+    }
+    ASSERT_TRUE(g.verify().ok());
+    for (int round = 0; round < 8; ++round) {
+        for (node_id n = 0; n < 4; ++n) {
+            if (g.enabled(n)) g.fire(n);
+        }
+        EXPECT_TRUE(g.verify().ok()) << "round " << round;
+    }
+}
+
+TEST(MarkedGraph, RejectsBadEdges) {
+    marked_graph g(2);
+    EXPECT_THROW(g.add_edge(0, 5, 0), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(0, 1, -1), std::invalid_argument);
+}
+
+TEST(MarkedGraph, AddNodeGrowsGraph) {
+    marked_graph g(1);
+    const node_id n = g.add_node();
+    EXPECT_EQ(n, 1u);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 0, 0);
+    EXPECT_TRUE(g.verify().ok());
+}
+
+}  // namespace
+}  // namespace plee::pl

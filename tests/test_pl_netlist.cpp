@@ -1,0 +1,170 @@
+// Unit tests for the PL netlist container itself: gate/edge construction
+// rules, trigger attachment wiring, arrival-depth analysis, statistics and
+// the marked-graph image.
+
+#include "plogic/pl_netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plee::pl {
+namespace {
+
+bf::truth_table and2() {
+    return bf::truth_table::variable(2, 0) & bf::truth_table::variable(2, 1);
+}
+
+/// source -> g1(and) -> g2(not) -> sink, with conservative acks.
+struct chain_fixture {
+    pl_netlist pl;
+    gate_id src_a, src_b, g1, g2, snk;
+
+    chain_fixture() {
+        src_a = pl.add_gate(gate_kind::source, "a");
+        src_b = pl.add_gate(gate_kind::source, "b");
+        g1 = pl.add_gate(gate_kind::compute, "g1");
+        pl.set_function(g1, and2());
+        g2 = pl.add_gate(gate_kind::compute, "g2");
+        pl.set_function(g2, ~bf::truth_table::variable(1, 0));
+        snk = pl.add_gate(gate_kind::sink, "y");
+
+        pl.add_data_edge(src_a, g1, 0, false, false);
+        pl.add_data_edge(src_b, g1, 1, false, false);
+        pl.add_data_edge(g1, g2, 0, false, false);
+        pl.add_data_edge(g2, snk, 0, false, false);
+        pl.add_ack_edge(g1, src_a, true);
+        pl.add_ack_edge(g1, src_b, true);
+        pl.add_ack_edge(g2, g1, true);
+        pl.add_ack_edge(snk, g2, true);
+    }
+};
+
+TEST(PlNetlist, CountsAndAccessors) {
+    chain_fixture f;
+    EXPECT_EQ(f.pl.num_gates(), 5u);
+    EXPECT_EQ(f.pl.num_edges(), 8u);
+    EXPECT_EQ(f.pl.num_pl_gates(), 2u);  // compute gates only here
+    EXPECT_EQ(f.pl.num_trigger_gates(), 0u);
+    EXPECT_EQ(f.pl.num_ack_edges(), 4u);
+    EXPECT_EQ(f.pl.sources().size(), 2u);
+    EXPECT_EQ(f.pl.sinks().size(), 1u);
+    EXPECT_EQ(f.pl.gate(f.g1).data_in.size(), 2u);
+}
+
+TEST(PlNetlist, VerifiesLiveAndSafe) {
+    chain_fixture f;
+    const mg_report r = f.pl.verify();
+    EXPECT_TRUE(r.ok()) << r.violation;
+}
+
+TEST(PlNetlist, ArrivalDepthOfChain) {
+    chain_fixture f;
+    const std::vector<int> depth = f.pl.arrival_depth();
+    EXPECT_EQ(depth[f.src_a], 0);
+    EXPECT_EQ(depth[f.g1], 1);
+    EXPECT_EQ(depth[f.g2], 2);
+    EXPECT_EQ(depth[f.snk], 2);  // observed output depth
+}
+
+TEST(PlNetlist, PinOrderingEnforced) {
+    pl_netlist pl;
+    const gate_id s = pl.add_gate(gate_kind::source, "s");
+    const gate_id g = pl.add_gate(gate_kind::compute, "g");
+    pl.set_function(g, and2());
+    // Pin 1 before pin 0 must be rejected.
+    EXPECT_THROW(pl.add_data_edge(s, g, 1, false, false), std::invalid_argument);
+}
+
+TEST(PlNetlist, FunctionOnlyOnLutGates) {
+    pl_netlist pl;
+    const gate_id s = pl.add_gate(gate_kind::source, "s");
+    EXPECT_THROW(pl.set_function(s, and2()), std::invalid_argument);
+    const gate_id c = pl.add_gate(gate_kind::const_source, "k");
+    EXPECT_NO_THROW(pl.set_const_value(c, true));
+    EXPECT_THROW(pl.set_const_value(s, true), std::invalid_argument);
+}
+
+TEST(PlNetlist, AttachTriggerWiring) {
+    chain_fixture f;
+    // g1 is a 2-input master; trigger over pin 0 with function NOT(x).
+    const bf::truth_table kill = ~bf::truth_table::variable(1, 0);
+    const gate_id trig = f.pl.attach_trigger(f.g1, kill, 0b01);
+
+    const pl_gate& master = f.pl.gate(f.g1);
+    const pl_gate& trigger = f.pl.gate(trig);
+    EXPECT_EQ(master.trigger, trig);
+    EXPECT_EQ(trigger.master, f.g1);
+    EXPECT_EQ(trigger.kind, gate_kind::trigger);
+    EXPECT_EQ(trigger.trigger_support, 0b01u);
+    ASSERT_EQ(trigger.data_in.size(), 1u);
+    // The trigger taps the same producer as master pin 0.
+    EXPECT_EQ(f.pl.edge(trigger.data_in[0]).from,
+              f.pl.edge(master.data_in[0]).from);
+    // efire edge runs trigger -> master and is not a LUT pin.
+    ASSERT_NE(master.efire_in, k_invalid_edge);
+    EXPECT_EQ(f.pl.edge(master.efire_in).from, trig);
+    EXPECT_EQ(f.pl.edge(master.efire_in).to_pin, -1);
+    EXPECT_EQ(master.data_in.size(), 2u);  // pins unchanged
+
+    // The pairing keeps the marked graph healthy.
+    EXPECT_TRUE(f.pl.verify().ok());
+    EXPECT_EQ(f.pl.num_trigger_gates(), 1u);
+    EXPECT_EQ(f.pl.num_pl_gates(), 2u);  // EE gates counted separately
+}
+
+TEST(PlNetlist, AttachTriggerRejectsBadRequests) {
+    chain_fixture f;
+    const bf::truth_table kill = ~bf::truth_table::variable(1, 0);
+    // Arity mismatch: 1-var function for a 2-pin support.
+    EXPECT_THROW(f.pl.attach_trigger(f.g1, kill, 0b11), std::invalid_argument);
+    // Non-compute master.
+    EXPECT_THROW(f.pl.attach_trigger(f.src_a, kill, 0b01), std::invalid_argument);
+    // Double attachment.
+    f.pl.attach_trigger(f.g1, kill, 0b01);
+    EXPECT_THROW(f.pl.attach_trigger(f.g1, kill, 0b01), std::logic_error);
+}
+
+TEST(PlNetlist, TriggerDeepensArrivalOfMaster) {
+    chain_fixture f;
+    const std::vector<int> before = f.pl.arrival_depth();
+    const bf::truth_table kill = ~bf::truth_table::variable(1, 0);
+    const gate_id trig = f.pl.attach_trigger(f.g1, kill, 0b01);
+    const std::vector<int> after = f.pl.arrival_depth();
+    // The trigger is a depth-1 gate (fed by sources); the master now also
+    // waits for the efire token in the static model.
+    EXPECT_EQ(after[trig], 1);
+    EXPECT_GE(after[f.g1], before[f.g1]);
+}
+
+TEST(PlNetlist, MarkedGraphImageMirrorsTokens) {
+    chain_fixture f;
+    const marked_graph mg = f.pl.to_marked_graph();
+    EXPECT_EQ(mg.num_nodes(), f.pl.num_gates());
+    EXPECT_EQ(mg.num_edges(), f.pl.num_edges());
+    int marked = 0;
+    for (const mg_edge& e : mg.edges()) marked += e.tokens;
+    EXPECT_EQ(marked, 4);  // the four initial ack tokens
+}
+
+TEST(PlNetlist, DotOutputContainsTriggersAsDiamonds) {
+    chain_fixture f;
+    f.pl.attach_trigger(f.g1, ~bf::truth_table::variable(1, 0), 0b01);
+    const std::string dot = f.pl.to_dot();
+    EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"*\""), std::string::npos);  // initial tokens
+}
+
+TEST(PlNetlist, EdgeRangeChecks) {
+    pl_netlist pl;
+    const gate_id s = pl.add_gate(gate_kind::source, "s");
+    EXPECT_THROW(pl.add_data_edge(s, 42, 0, false, false), std::invalid_argument);
+    EXPECT_THROW(pl.add_ack_edge(42, s, false), std::invalid_argument);
+}
+
+TEST(PlNetlist, KindNames) {
+    EXPECT_STREQ(to_string(gate_kind::compute), "compute");
+    EXPECT_STREQ(to_string(gate_kind::trigger), "trigger");
+    EXPECT_STREQ(to_string(gate_kind::through), "through");
+}
+
+}  // namespace
+}  // namespace plee::pl

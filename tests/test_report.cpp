@@ -1,0 +1,92 @@
+// Tests for the table renderer and the end-to-end Table 3 experiment row.
+
+#include "report/experiment.hpp"
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/rtl.hpp"
+
+namespace plee::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+    text_table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "123456"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| name "), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("123456"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("|---"), std::string::npos);
+    EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+    text_table t({"a", "b"});
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+    text_table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Formatting, FixedAndPercent) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt_pct(36.4), "+36%");
+    EXPECT_EQ(fmt_pct(-2.3), "-2%");
+}
+
+TEST(Experiment, AdderRowHasPaperShape) {
+    // An 8-bit registered adder: EE must win, area must grow, and the row's
+    // derived columns must be mutually consistent.
+    syn::module_builder m("rowtest");
+    const syn::bus a = m.input_bus("a", 8);
+    const syn::bus b = m.input_bus("b", 8);
+    const syn::bus acc = m.new_register("acc", 8, 0);
+    m.connect_register(acc, m.add(acc, m.add(a, b).sum).sum);
+    m.output_bus("acc", acc);
+    m.output("cout", m.add(a, b).carry);
+    const nl::netlist n = m.build();
+
+    experiment_options opts;
+    opts.measure.num_vectors = 60;
+    const experiment_row row = run_ee_experiment("registered adder", n, opts);
+
+    EXPECT_GT(row.pl_gates, 0u);
+    EXPECT_GT(row.ee_gates, 0u);
+    EXPECT_GT(row.delay_no_ee, 0.0);
+    EXPECT_GT(row.delay_ee, 0.0);
+    EXPECT_NEAR(row.delay_diff, row.delay_no_ee - row.delay_ee, 1e-9);
+    EXPECT_NEAR(row.area_increase_pct,
+                100.0 * static_cast<double>(row.ee_gates) /
+                    static_cast<double>(row.pl_gates),
+                1e-9);
+    EXPECT_NEAR(row.delay_decrease_pct, 100.0 * row.delay_diff / row.delay_no_ee,
+                1e-9);
+    // The headline claim on an arithmetic circuit: EE reduces delay.
+    EXPECT_GT(row.delay_decrease_pct, 0.0);
+    EXPECT_EQ(row.ee_detail.triggers_added, row.ee_gates);
+}
+
+TEST(Experiment, ThresholdSuppressesEe) {
+    syn::module_builder m("supp");
+    const syn::bus a = m.input_bus("a", 4);
+    const syn::bus b = m.input_bus("b", 4);
+    m.output_bus("s", m.add(a, b).sum);
+    const nl::netlist n = m.build();
+
+    experiment_options opts;
+    opts.measure.num_vectors = 10;
+    opts.ee.search.cost_threshold = 1e12;
+    const experiment_row row = run_ee_experiment("suppressed", n, opts);
+    EXPECT_EQ(row.ee_gates, 0u);
+    EXPECT_EQ(row.area_increase_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace plee::report

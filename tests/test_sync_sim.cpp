@@ -1,0 +1,130 @@
+// Tests for the cycle-accurate synchronous reference simulator — the golden
+// semantics every PL simulation is compared against.
+
+#include "netlist/sync_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plee::nl {
+namespace {
+
+bf::truth_table xor2() {
+    return bf::truth_table::variable(2, 0) ^ bf::truth_table::variable(2, 1);
+}
+
+TEST(SyncSim, CombinationalEval) {
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id b = n.add_input("b");
+    const cell_id g = n.add_lut(xor2(), {a, b});
+    n.add_output("y", g);
+
+    sync_simulator sim(n);
+    for (int av = 0; av < 2; ++av) {
+        for (int bv = 0; bv < 2; ++bv) {
+            sim.set_input(a, av);
+            sim.set_input(b, bv);
+            sim.eval();
+            EXPECT_EQ(sim.value_of(g), av != bv);
+        }
+    }
+}
+
+TEST(SyncSim, NamedInputAssignment) {
+    netlist n;
+    n.add_input("enable");
+    const cell_id a = n.inputs().front();
+    n.add_output("y", a);
+    sync_simulator sim(n);
+    sim.set_input("enable", true);
+    sim.eval();
+    EXPECT_TRUE(sim.output_values().front());
+    EXPECT_THROW(sim.set_input("nope", true), std::invalid_argument);
+}
+
+TEST(SyncSim, ToggleRegister) {
+    // q <= q xor 1 : divides by two.
+    netlist n;
+    const cell_id one = n.add_constant(true);
+    const cell_id q = n.add_dff(k_invalid_cell, false, "q");
+    const cell_id x = n.add_lut(xor2(), {q, one});
+    n.set_dff_input(q, x);
+    n.add_output("y", q);
+
+    sync_simulator sim(n);
+    std::vector<bool> seen;
+    for (int i = 0; i < 6; ++i) {
+        sim.step();
+        seen.push_back(sim.output_values().front());
+    }
+    EXPECT_EQ(seen, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST(SyncSim, DffInitialValueRespected) {
+    netlist n;
+    const cell_id q = n.add_dff(k_invalid_cell, true, "q");
+    n.set_dff_input(q, q);  // hold forever
+    n.add_output("y", q);
+    sync_simulator sim(n);
+    sim.eval();
+    EXPECT_TRUE(sim.value_of(q));
+    sim.step();
+    sim.eval();
+    EXPECT_TRUE(sim.value_of(q));
+}
+
+TEST(SyncSim, ResetRestoresInitialState) {
+    netlist n;
+    const cell_id one = n.add_constant(true);
+    const cell_id q = n.add_dff(k_invalid_cell, false, "q");
+    const cell_id x = n.add_lut(xor2(), {q, one});
+    n.set_dff_input(q, x);
+    n.add_output("y", q);
+
+    sync_simulator sim(n);
+    sim.step();
+    sim.eval();
+    EXPECT_TRUE(sim.value_of(q));
+    sim.reset();
+    sim.eval();
+    EXPECT_FALSE(sim.value_of(q));
+}
+
+TEST(SyncSim, CycleHelperReturnsPreEdgeOutputs) {
+    // y = a xor q, q <= a.  In cycle k, y must use the *old* q.
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id q = n.add_dff(k_invalid_cell, false, "q");
+    const cell_id y = n.add_lut(xor2(), {a, q});
+    n.set_dff_input(q, a);
+    n.add_output("y", y);
+
+    sync_simulator sim(n);
+    EXPECT_EQ(sim.cycle({true}), std::vector<bool>{true});    // q was 0
+    EXPECT_EQ(sim.cycle({true}), std::vector<bool>{false});   // q is now 1
+    EXPECT_EQ(sim.cycle({false}), std::vector<bool>{true});   // q still 1
+    EXPECT_EQ(sim.cycle({false}), std::vector<bool>{false});  // q dropped to 0
+}
+
+TEST(SyncSim, SetInputsChecksWidth) {
+    netlist n;
+    n.add_input("a");
+    n.add_input("b");
+    const cell_id g = n.add_lut(xor2(), {n.inputs()[0], n.inputs()[1]});
+    n.add_output("y", g);
+    sync_simulator sim(n);
+    EXPECT_THROW(sim.set_inputs({true}), std::invalid_argument);
+    EXPECT_NO_THROW(sim.set_inputs({true, false}));
+}
+
+TEST(SyncSim, RejectsNonInputCell) {
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id g = n.add_lut(~bf::truth_table::variable(1, 0), {a});
+    n.add_output("y", g);
+    sync_simulator sim(n);
+    EXPECT_THROW(sim.set_input(g, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plee::nl

@@ -1,0 +1,149 @@
+// Tests for the netlist cleanup passes (constant folding, vacuous-fanin
+// trimming, dead-cell sweep) that normalize netlists before PL mapping.
+
+#include "netlist/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/sync_sim.hpp"
+
+namespace plee::nl {
+namespace {
+
+bf::truth_table and2() {
+    return bf::truth_table::variable(2, 0) & bf::truth_table::variable(2, 1);
+}
+bf::truth_table or2() {
+    return bf::truth_table::variable(2, 0) | bf::truth_table::variable(2, 1);
+}
+
+TEST(Cleanup, FoldsConstantThroughLut) {
+    // y = a AND 1  ==>  y = a (the LUT disappears entirely).
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id one = n.add_constant(true);
+    const cell_id g = n.add_lut(and2(), {a, one});
+    n.add_output("y", g);
+
+    const cleanup_result r = cleanup(n);
+    EXPECT_EQ(r.nl.num_luts(), 0u);
+    EXPECT_GE(r.stats.trimmed_fanins, 1u);
+
+    sync_simulator sim(r.nl);
+    EXPECT_EQ(sim.cycle({false}), std::vector<bool>{false});
+    EXPECT_EQ(sim.cycle({true}), std::vector<bool>{true});
+}
+
+TEST(Cleanup, ConstantZeroKillsAndGate) {
+    // y = a AND 0  ==>  y = 0 (constant reaches the output port).
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id zero = n.add_constant(false);
+    const cell_id g = n.add_lut(and2(), {a, zero});
+    n.add_output("y", g);
+
+    const cleanup_result r = cleanup(n);
+    EXPECT_EQ(r.nl.num_luts(), 0u);
+    sync_simulator sim(r.nl);
+    EXPECT_EQ(sim.cycle({true}), std::vector<bool>{false});
+}
+
+TEST(Cleanup, SweepsDeadLogic) {
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id b = n.add_input("b");
+    const cell_id used = n.add_lut(and2(), {a, b});
+    n.add_lut(or2(), {a, b});  // dead: feeds nothing
+    n.add_output("y", used);
+
+    const cleanup_result r = cleanup(n);
+    EXPECT_EQ(r.nl.num_luts(), 1u);
+    EXPECT_GE(r.stats.swept_cells, 1u);
+}
+
+TEST(Cleanup, KeepsUnusedPrimaryInputs) {
+    netlist n;
+    const cell_id a = n.add_input("a");
+    n.add_input("unused");
+    n.add_output("y", a);
+    const cleanup_result r = cleanup(n);
+    EXPECT_EQ(r.nl.inputs().size(), 2u);  // interface preserved
+}
+
+TEST(Cleanup, TrimsVacuousFanin) {
+    // A 2-input LUT that ignores its second input.
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id b = n.add_input("b");
+    const bf::truth_table only_x0 = bf::truth_table::variable(2, 0);
+    const cell_id g = n.add_lut(only_x0, {a, b});
+    n.add_output("y", g);
+
+    const cleanup_result r = cleanup(n);
+    EXPECT_EQ(r.stats.trimmed_fanins, 1u);
+    // The LUT degenerated to a wire: output connects straight to the input.
+    EXPECT_EQ(r.nl.num_luts(), 0u);
+}
+
+TEST(Cleanup, PreservesSequentialBehaviour) {
+    // Two-bit counter with an enable; cleanup must not change its I/O
+    // behaviour cycle by cycle.
+    netlist n;
+    const cell_id en = n.add_input("en");
+    const cell_id q0 = n.add_dff(k_invalid_cell, false, "q0");
+    const cell_id q1 = n.add_dff(k_invalid_cell, false, "q1");
+    const bf::truth_table x0_xor_x1 =
+        bf::truth_table::variable(2, 0) ^ bf::truth_table::variable(2, 1);
+    const cell_id d0 = n.add_lut(x0_xor_x1, {q0, en});
+    const bf::truth_table carry_fn = bf::truth_table::from_function(
+        3, [](std::uint32_t m) {
+            const bool q1v = m & 1, q0v = m & 2, env = m & 4;
+            return q1v != (q0v && env);
+        });
+    const cell_id d1 = n.add_lut(carry_fn, {q1, q0, en});
+    n.set_dff_input(q0, d0);
+    n.set_dff_input(q1, d1);
+    n.add_output("c0", q0);
+    n.add_output("c1", q1);
+
+    const cleanup_result r = cleanup(n);
+
+    sync_simulator ref(n);
+    sync_simulator cln(r.nl);
+    const std::vector<bool> stim = {true, true, false, true, true, true, false, true};
+    for (bool e : stim) {
+        EXPECT_EQ(ref.cycle({e}), cln.cycle({e}));
+    }
+}
+
+TEST(Cleanup, ConstantDInputDffSurvives) {
+    netlist n;
+    const cell_id one = n.add_constant(true);
+    const cell_id q = n.add_dff(k_invalid_cell, false, "q");
+    n.set_dff_input(q, one);
+    n.add_output("y", q);
+
+    const cleanup_result r = cleanup(n);
+    ASSERT_EQ(r.nl.dffs().size(), 1u);
+    sync_simulator sim(r.nl);
+    EXPECT_EQ(sim.cycle({}), std::vector<bool>{false});  // init value first
+    EXPECT_EQ(sim.cycle({}), std::vector<bool>{true});
+}
+
+TEST(Cleanup, IdempotentOnCleanNetlist) {
+    netlist n;
+    const cell_id a = n.add_input("a");
+    const cell_id b = n.add_input("b");
+    const cell_id g = n.add_lut(and2(), {a, b});
+    n.add_output("y", g);
+
+    const cleanup_result once = cleanup(n);
+    const cleanup_result twice = cleanup(once.nl);
+    EXPECT_EQ(once.nl.num_cells(), twice.nl.num_cells());
+    EXPECT_EQ(twice.stats.folded_constants, 0u);
+    EXPECT_EQ(twice.stats.trimmed_fanins, 0u);
+    EXPECT_EQ(twice.stats.swept_cells, 0u);
+}
+
+}  // namespace
+}  // namespace plee::nl

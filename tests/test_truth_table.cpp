@@ -1,0 +1,157 @@
+// Unit tests for bf::truth_table — the dense Boolean function substrate of
+// the trigger search.
+
+#include "bool/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace plee::bf {
+namespace {
+
+TEST(TruthTable, ConstantsHaveExpectedBits) {
+    EXPECT_EQ(truth_table::constant(3, false).bits(), 0u);
+    EXPECT_EQ(truth_table::constant(3, true).bits(), 0xffu);
+    EXPECT_TRUE(truth_table::constant(2, true).is_constant_one());
+    EXPECT_TRUE(truth_table::constant(2, false).is_constant_zero());
+    EXPECT_TRUE(truth_table::constant(0, true).is_constant_one());
+}
+
+TEST(TruthTable, VariableProjection) {
+    const truth_table x0 = truth_table::variable(2, 0);
+    const truth_table x1 = truth_table::variable(2, 1);
+    EXPECT_EQ(x0.to_string(), "0101");
+    EXPECT_EQ(x1.to_string(), "0011");
+}
+
+TEST(TruthTable, RejectsBadArity) {
+    EXPECT_THROW(truth_table(7), std::invalid_argument);
+    EXPECT_THROW(truth_table(-1), std::invalid_argument);
+    EXPECT_THROW(truth_table(2, 0x10), std::invalid_argument);  // bit 4 of a 2-var table
+}
+
+TEST(TruthTable, FullAdderCarryMatchesPaperTable1) {
+    // Table 1 master: carry-out c(a+b) + ab with a=var0, b=var1, c=var2.
+    const truth_table a = truth_table::variable(3, 0);
+    const truth_table b = truth_table::variable(3, 1);
+    const truth_table c = truth_table::variable(3, 2);
+    const truth_table carry = (c & (a | b)) | (a & b);
+    // Paper rows (abc ascending as 000,001,...): 0,0,0,1,0,1,1,1 — note the
+    // paper lists minterms with a as the MSB column; our index packs a in
+    // bit 0, so compare against the function directly.
+    for (std::uint32_t m = 0; m < 8; ++m) {
+        const bool av = m & 1, bv = m & 2, cv = m & 4;
+        EXPECT_EQ(carry.eval(m), (cv && (av || bv)) || (av && bv));
+    }
+    EXPECT_EQ(carry.count_ones(), 4);
+}
+
+TEST(TruthTable, EvalAndSetRoundTrip) {
+    truth_table t(4);
+    t.set(5, true);
+    t.set(11, true);
+    EXPECT_TRUE(t.eval(5));
+    EXPECT_TRUE(t.eval(11));
+    EXPECT_FALSE(t.eval(6));
+    t.set(5, false);
+    EXPECT_FALSE(t.eval(5));
+    EXPECT_THROW(t.eval(16), std::out_of_range);
+    EXPECT_THROW(t.set(16, true), std::out_of_range);
+}
+
+TEST(TruthTable, CofactorShannonExpansion) {
+    const truth_table f = truth_table::from_string("0110100110010110");  // 4-var
+    for (int v = 0; v < 4; ++v) {
+        const truth_table f0 = f.cofactor(v, false);
+        const truth_table f1 = f.cofactor(v, true);
+        EXPECT_FALSE(f0.depends_on(v));
+        EXPECT_FALSE(f1.depends_on(v));
+        const truth_table x = truth_table::variable(4, v);
+        EXPECT_EQ((~x & f0) | (x & f1), f);  // Shannon expansion
+    }
+}
+
+TEST(TruthTable, SupportDetection) {
+    // f = x0 XOR x2 over 4 vars: support {0, 2}.
+    const truth_table f =
+        truth_table::variable(4, 0) ^ truth_table::variable(4, 2);
+    EXPECT_TRUE(f.depends_on(0));
+    EXPECT_FALSE(f.depends_on(1));
+    EXPECT_TRUE(f.depends_on(2));
+    EXPECT_FALSE(f.depends_on(3));
+    EXPECT_EQ(f.support_mask(), 0b0101u);
+    EXPECT_EQ(f.support_size(), 2);
+}
+
+TEST(TruthTable, ExpandKeepsFunction) {
+    const truth_table f = truth_table::variable(2, 1);  // x1 over 2 vars
+    const truth_table g = f.expand(4);
+    EXPECT_EQ(g.num_vars(), 4);
+    for (std::uint32_t m = 0; m < 16; ++m) {
+        EXPECT_EQ(g.eval(m), (m & 2u) != 0);
+    }
+    EXPECT_EQ(g.support_mask(), 0b0010u);
+    EXPECT_THROW(g.expand(2), std::invalid_argument);
+}
+
+TEST(TruthTable, PermuteRelabelsVariables) {
+    // f(x0,x1) = x0 & ~x1; permute 0->1, 1->0 gives x1 & ~x0.
+    const truth_table f = truth_table::variable(2, 0) & ~truth_table::variable(2, 1);
+    const truth_table g = f.permute({1, 0});
+    EXPECT_EQ(g, truth_table::variable(2, 1) & ~truth_table::variable(2, 0));
+}
+
+TEST(TruthTable, OperatorsAreBitwise) {
+    const truth_table a = truth_table::from_string("0011");
+    const truth_table b = truth_table::from_string("0101");
+    EXPECT_EQ((a & b).to_string(), "0001");
+    EXPECT_EQ((a | b).to_string(), "0111");
+    EXPECT_EQ((a ^ b).to_string(), "0110");
+    EXPECT_EQ((~a).to_string(), "1100");
+}
+
+TEST(TruthTable, BinaryOperatorsRejectArityMismatch) {
+    EXPECT_THROW(truth_table(2) & truth_table(3), std::invalid_argument);
+    EXPECT_THROW(truth_table(2) | truth_table(3), std::invalid_argument);
+    EXPECT_THROW(truth_table(2) ^ truth_table(3), std::invalid_argument);
+}
+
+TEST(TruthTable, FromStringRoundTrip) {
+    const std::string rows = "01101001";
+    EXPECT_EQ(truth_table::from_string(rows).to_string(), rows);
+    EXPECT_THROW(truth_table::from_string("011"), std::invalid_argument);
+    EXPECT_THROW(truth_table::from_string("01x1"), std::invalid_argument);
+}
+
+TEST(TruthTable, SixVariableLimit) {
+    const truth_table t = truth_table::variable(6, 5);
+    EXPECT_EQ(t.num_minterms(), 64u);
+    EXPECT_EQ(t.count_ones(), 32);
+    EXPECT_TRUE(truth_table::constant(6, true).is_constant_one());
+}
+
+// Property sweep: cofactor and support agree for a spread of 4-var functions.
+class TruthTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruthTableProperty, SupportMatchesCofactorEquality) {
+    const truth_table f(4, GetParam() & 0xffff);
+    for (int v = 0; v < 4; ++v) {
+        EXPECT_EQ(f.depends_on(v), f.cofactor(v, false) != f.cofactor(v, true));
+    }
+}
+
+TEST_P(TruthTableProperty, DeMorgan) {
+    const truth_table f(4, GetParam() & 0xffff);
+    const truth_table g(4, (GetParam() * 0x9e3779b9u) & 0xffff);
+    EXPECT_EQ(~(f & g), ~f | ~g);
+    EXPECT_EQ(~(f | g), ~f & ~g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spread, TruthTableProperty,
+                         ::testing::Values(0x0000u, 0xffffu, 0x8000u, 0x0001u,
+                                           0x6996u, 0x1ee1u, 0xcafeu, 0x1234u,
+                                           0xf0f0u, 0xaaaa, 0x5a5au, 0x7777u));
+
+}  // namespace
+}  // namespace plee::bf

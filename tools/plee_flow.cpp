@@ -1,0 +1,223 @@
+// plee_flow — command-line driver for the whole Phased Logic / Early
+// Evaluation pipeline.
+//
+//   plee_flow --bench b11                  run a built-in ITC99-style circuit
+//   plee_flow --blif design.blif           run an imported BLIF netlist
+//
+// Options:
+//   --vectors N        random vectors to simulate           (default 100)
+//   --threshold X      EE cost threshold (Equation 1 units) (default 0)
+//   --method M         trigger derivation: exact | cube     (default exact)
+//   --no-ee            skip Early Evaluation (baseline only)
+//   --seed S           stimulus seed                        (default fixed)
+//   --dot FILE         write the PL netlist (post-EE) as Graphviz
+//   --vcd FILE         write a token waveform of the measured run
+//   --blif-out FILE    re-export the synchronous netlist as BLIF
+//   --report           per-trigger detail (support, coverage, cost)
+//
+// Exit status is non-zero on any verification failure (the tool re-checks
+// liveness/safety and wave-by-wave equivalence with the synchronous model).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "bench_circuits/itc99.hpp"
+#include "bool/support.hpp"
+#include "ee/ee_transform.hpp"
+#include "netlist/blif.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "report/table.hpp"
+#include "sim/measure.hpp"
+#include "sim/vcd.hpp"
+
+using namespace plee;
+
+namespace {
+
+struct cli_options {
+    std::string bench;
+    std::string blif_in;
+    std::size_t vectors = 100;
+    double threshold = 0.0;
+    ee::trigger_method method = ee::trigger_method::exact;
+    bool apply_ee = true;
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    std::string dot_out;
+    std::string vcd_out;
+    std::string blif_out;
+    bool per_trigger_report = false;
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: plee_flow (--bench bXX | --blif FILE) [--vectors N] "
+                 "[--threshold X]\n                 [--method exact|cube] [--no-ee] "
+                 "[--seed S] [--dot FILE]\n                 [--vcd FILE] "
+                 "[--blif-out FILE] [--report]\n");
+}
+
+std::optional<cli_options> parse(int argc, char** argv) {
+    cli_options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) return nullptr;
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            if (const char* v = next()) o.bench = v; else return std::nullopt;
+        } else if (arg == "--blif") {
+            if (const char* v = next()) o.blif_in = v; else return std::nullopt;
+        } else if (arg == "--vectors") {
+            if (const char* v = next()) o.vectors = std::strtoull(v, nullptr, 10);
+            else return std::nullopt;
+        } else if (arg == "--threshold") {
+            if (const char* v = next()) o.threshold = std::strtod(v, nullptr);
+            else return std::nullopt;
+        } else if (arg == "--method") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            if (std::strcmp(v, "exact") == 0) o.method = ee::trigger_method::exact;
+            else if (std::strcmp(v, "cube") == 0) o.method = ee::trigger_method::cube_list;
+            else return std::nullopt;
+        } else if (arg == "--no-ee") {
+            o.apply_ee = false;
+        } else if (arg == "--seed") {
+            if (const char* v = next()) o.seed = std::strtoull(v, nullptr, 10);
+            else return std::nullopt;
+        } else if (arg == "--dot") {
+            if (const char* v = next()) o.dot_out = v; else return std::nullopt;
+        } else if (arg == "--vcd") {
+            if (const char* v = next()) o.vcd_out = v; else return std::nullopt;
+        } else if (arg == "--blif-out") {
+            if (const char* v = next()) o.blif_out = v; else return std::nullopt;
+        } else if (arg == "--report") {
+            o.per_trigger_report = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return std::nullopt;
+        }
+    }
+    if (o.bench.empty() == o.blif_in.empty()) return std::nullopt;  // exactly one
+    return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::optional<cli_options> parsed = parse(argc, argv);
+    if (!parsed) {
+        usage();
+        return 2;
+    }
+    const cli_options& o = *parsed;
+
+    try {
+        // --- Front end -------------------------------------------------------
+        nl::netlist netlist = [&] {
+            if (!o.bench.empty()) return bench::build_benchmark(o.bench);
+            std::ifstream in(o.blif_in);
+            if (!in) throw std::runtime_error("cannot open " + o.blif_in);
+            return nl::from_blif(in);
+        }();
+        std::printf("netlist: %zu LUTs, %zu DFFs, %zu inputs, %zu outputs\n",
+                    netlist.num_luts(), netlist.dffs().size(),
+                    netlist.inputs().size(), netlist.outputs().size());
+        if (!o.blif_out.empty()) {
+            std::ofstream out(o.blif_out);
+            out << nl::to_blif(netlist, o.bench.empty() ? "imported" : o.bench);
+            std::printf("wrote %s\n", o.blif_out.c_str());
+        }
+
+        // --- Phased Logic mapping --------------------------------------------
+        pl::map_result mapped = pl::map_to_phased_logic(netlist);
+        const pl::mg_report health = mapped.pl.verify();
+        std::printf("phased logic: %zu PL gates, %zu acks (+%zu saved), "
+                    "well-formed=%d live=%d safe=%d\n",
+                    mapped.pl.num_pl_gates(), mapped.pl.num_ack_edges(),
+                    mapped.stats.acks_saved_by_natural_cycles +
+                        mapped.stats.acks_saved_by_sharing,
+                    health.well_formed, health.live, health.safe);
+        if (!health.ok()) return 1;
+
+        // --- Early Evaluation ---------------------------------------------------
+        if (o.apply_ee) {
+            ee::ee_options opts;
+            opts.search.cost_threshold = o.threshold;
+            opts.search.method = o.method;
+            const ee::ee_stats stats = ee::apply_early_evaluation(mapped.pl, opts);
+            std::printf("early evaluation: %zu triggers on %zu masters "
+                        "(+%.0f%% area)\n",
+                        stats.triggers_added, stats.masters_considered,
+                        mapped.pl.num_pl_gates() == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(stats.triggers_added) /
+                                  static_cast<double>(mapped.pl.num_pl_gates()));
+            if (o.per_trigger_report) {
+                report::text_table t({"master", "support pins", "trigger",
+                                      "coverage", "Mmax", "Tmax", "cost"});
+                for (const ee::applied_trigger& at : stats.applied) {
+                    std::string pins;
+                    for (int p : bf::support_members(at.candidate.support)) {
+                        if (!pins.empty()) pins += ",";
+                        pins += std::to_string(p);
+                    }
+                    t.add_row({mapped.pl.gate(at.master).name.empty()
+                                   ? "g" + std::to_string(at.master)
+                                   : mapped.pl.gate(at.master).name,
+                               pins, at.candidate.function.to_string(),
+                               report::fmt(at.candidate.coverage_percent, 0) + "%",
+                               std::to_string(at.candidate.master_max_arrival),
+                               std::to_string(at.candidate.trigger_max_arrival),
+                               report::fmt(at.candidate.cost, 1)});
+                }
+                std::printf("%s", t.to_string().c_str());
+            }
+        }
+        if (!o.dot_out.empty()) {
+            std::ofstream out(o.dot_out);
+            out << mapped.pl.to_dot("plee_flow");
+            std::printf("wrote %s\n", o.dot_out.c_str());
+        }
+
+        // --- Measurement ----------------------------------------------------------
+        sim::measure_options mopts;
+        mopts.num_vectors = o.vectors;
+        mopts.seed = o.seed;
+        mopts.sim.collect_trace = !o.vcd_out.empty();
+
+        const sim::measure_result r =
+            sim::measure_average_delay(mapped.pl, &netlist, mopts);
+        std::printf("simulated %zu vectors: avg delay %.2f ns (min %.2f, max "
+                    "%.2f, stddev %.2f), outputs match golden model\n",
+                    o.vectors, r.avg_delay, r.min_delay, r.max_delay, r.stddev);
+        if (r.stats.ee_hits + r.stats.ee_misses > 0) {
+            std::printf("EE firings: %llu hits / %llu misses (%llu strictly "
+                        "early outputs)\n",
+                        static_cast<unsigned long long>(r.stats.ee_hits),
+                        static_cast<unsigned long long>(r.stats.ee_misses),
+                        static_cast<unsigned long long>(r.stats.ee_wins));
+        }
+
+        if (!o.vcd_out.empty()) {
+            // Re-run with tracing (measure_average_delay constructs its own
+            // simulator; a short dedicated run keeps the file readable).
+            sim::sim_options sopts;
+            sopts.collect_trace = true;
+            sim::pl_simulator tracer(mapped.pl, sopts);
+            tracer.run(sim::random_vectors(std::min<std::size_t>(o.vectors, 10),
+                                           mapped.pl.sources().size(), o.seed));
+            std::ofstream out(o.vcd_out);
+            out << sim::to_vcd(mapped.pl, tracer.trace());
+            std::printf("wrote %s (first %zu vectors)\n", o.vcd_out.c_str(),
+                        std::min<std::size_t>(o.vectors, 10));
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
