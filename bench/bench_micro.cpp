@@ -1,10 +1,20 @@
 // bench_micro — google-benchmark microbenchmarks for the algorithmic
 // building blocks: trigger search throughput (the 14-support-set sweep the
-// paper calls "practical" thanks to the LUT4 restriction), Quine–McCluskey
-// covering, marked-graph verification, PL mapping, and event-simulation
-// throughput.
+// paper calls "practical" thanks to the LUT4 restriction) in both the
+// word-parallel and retained-scalar variants, Quine–McCluskey covering,
+// marked-graph verification, PL mapping, and event-simulation throughput.
+//
+// `--json <path>` additionally writes the captured timings — and the
+// word-vs-scalar speedups derived from them — as BENCH_trigger.json so the
+// perf trajectory stays machine-readable across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
 
 #include "bench_circuits/itc99.hpp"
 #include "bool/cube_list.hpp"
@@ -12,6 +22,7 @@
 #include "ee/trigger_cache.hpp"
 #include "ee/trigger_search.hpp"
 #include "plogic/pl_mapper.hpp"
+#include "report/json.hpp"
 #include "sim/measure.hpp"
 
 using namespace plee;
@@ -32,6 +43,21 @@ void bm_trigger_search_lut4(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_trigger_search_lut4);
+
+void bm_trigger_search_lut4_scalar(benchmark::State& state) {
+    // The retained per-minterm reference kernels on the identical master
+    // stream: the baseline the word-parallel speedup is measured against.
+    std::uint64_t seed = 1;
+    ee::search_options opts;
+    opts.use_scalar_kernels = true;
+    for (auto _ : state) {
+        seed = mix(seed);
+        const bf::truth_table master(4, seed & 0xffff);
+        if (master.support_size() < 2) continue;
+        benchmark::DoNotOptimize(ee::find_best_trigger(master, {0, 1, 2, 3}, opts));
+    }
+}
+BENCHMARK(bm_trigger_search_lut4_scalar);
 
 void bm_trigger_search_lut4_cached(benchmark::State& state) {
     // Netlists reuse functions heavily; model that with a small rotating set.
@@ -68,6 +94,45 @@ void bm_trigger_search_cube_list(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_trigger_search_cube_list);
+
+void bm_trigger_search_cube_list_scalar(benchmark::State& state) {
+    std::uint64_t seed = 1;
+    ee::search_options opts;
+    opts.method = ee::trigger_method::cube_list;
+    opts.use_scalar_kernels = true;
+    for (auto _ : state) {
+        seed = mix(seed);
+        const bf::truth_table master(4, seed & 0xffff);
+        if (master.support_size() < 2) continue;
+        benchmark::DoNotOptimize(ee::find_best_trigger(master, {0, 1, 2, 3}, opts));
+    }
+}
+BENCHMARK(bm_trigger_search_cube_list_scalar);
+
+void bm_exact_trigger_kernel(benchmark::State& state) {
+    // The single-support word kernel in isolation: two conjunctive folds and
+    // a shrink per call.
+    std::uint64_t seed = 5;
+    for (auto _ : state) {
+        seed = mix(seed);
+        const bf::truth_table master(4, seed & 0xffff);
+        benchmark::DoNotOptimize(ee::exact_trigger_function(master, 0b0111));
+    }
+}
+BENCHMARK(bm_exact_trigger_kernel);
+
+void bm_apply_ee_parallel(benchmark::State& state) {
+    const nl::netlist n = bench::build_benchmark("b05");
+    ee::ee_options opts;
+    opts.num_threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        pl::map_result mapped = pl::map_to_phased_logic(n);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(ee::apply_early_evaluation(mapped.pl, opts));
+    }
+}
+BENCHMARK(bm_apply_ee_parallel)->Arg(1)->Arg(2)->Arg(4);
 
 void bm_isop_cover(benchmark::State& state) {
     std::uint64_t seed = 7;
@@ -123,6 +188,96 @@ void bm_event_sim_b07(benchmark::State& state) {
 }
 BENCHMARK(bm_event_sim_b07);
 
+/// The normal console reporter, additionally capturing every run so --json
+/// can re-emit it (plus derived speedups) through the repository's own
+/// serializer.
+class json_collector : public benchmark::ConsoleReporter {
+public:
+    struct row {
+        std::string name;
+        double real_ns = 0.0;
+        double cpu_ns = 0.0;
+    };
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& r : runs) {
+            rows.push_back({r.benchmark_name(), r.GetAdjustedRealTime(),
+                            r.GetAdjustedCPUTime()});
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    double real_ns_of(const std::string& name) const {
+        for (const row& r : rows) {
+            if (r.name == name) return r.real_ns;
+        }
+        return 0.0;
+    }
+
+    std::vector<row> rows;
+};
+
+void write_json(const json_collector& collected, const std::string& path) {
+    report::json benches = report::json::array();
+    for (const json_collector::row& r : collected.rows) {
+        report::json b = report::json::object();
+        b.set("name", report::json::str(r.name));
+        b.set("real_ns_per_op", report::json::number(r.real_ns));
+        b.set("cpu_ns_per_op", report::json::number(r.cpu_ns));
+        benches.push(std::move(b));
+    }
+
+    report::json derived = report::json::object();
+    const double word = collected.real_ns_of("bm_trigger_search_lut4");
+    const double scalar = collected.real_ns_of("bm_trigger_search_lut4_scalar");
+    if (word > 0.0 && scalar > 0.0) {
+        derived.set("exact_search_speedup_vs_scalar",
+                    report::json::number(scalar / word));
+    }
+    const double cword = collected.real_ns_of("bm_trigger_search_cube_list");
+    const double cscalar =
+        collected.real_ns_of("bm_trigger_search_cube_list_scalar");
+    if (cword > 0.0 && cscalar > 0.0) {
+        derived.set("cube_list_search_speedup_vs_scalar",
+                    report::json::number(cscalar / cword));
+    }
+
+    report::json root = report::json::object();
+    root.set("bench", report::json::str("trigger"));
+    root.set("benchmarks", std::move(benches));
+    root.set("derived", std::move(derived));
+    root.write_file(path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+        return 1;
+    }
+
+    json_collector collected;
+    benchmark::RunSpecifiedBenchmarks(&collected);
+    benchmark::Shutdown();
+
+    if (!json_path.empty()) {
+        try {
+            write_json(collected, json_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_micro: %s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -10,12 +10,18 @@
 // simulator with a nominal delay model, not the authors' qhsim testbed).
 //
 // Set PLEE_VECTORS to override the number of random vectors (default 100).
+// `--json <path>` additionally writes every row (and the suite averages) as
+// BENCH_itc99.json for cross-PR perf tracking.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_circuits/itc99.hpp"
 #include "report/experiment.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 using namespace plee;
@@ -46,7 +52,17 @@ constexpr paper_row k_paper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+            return 2;
+        }
+    }
+
     std::size_t vectors = 100;
     if (const char* env = std::getenv("PLEE_VECTORS")) {
         vectors = static_cast<std::size_t>(std::atoi(env));
@@ -64,6 +80,7 @@ int main() {
     double speedup_sum = 0.0;
     double area_sum = 0.0;
     int counted = 0;
+    report::json json_rows = report::json::array();
 
     for (std::size_t i = 0; i < bench::itc99_suite().size(); ++i) {
         const bench::benchmark_info& info = bench::itc99_suite()[i];
@@ -88,6 +105,10 @@ int main() {
         speedup_sum += row.delay_decrease_pct;
         area_sum += row.area_increase_pct;
         ++counted;
+
+        report::json jrow = report::to_json(row);
+        jrow.set("id", report::json::str(info.id));
+        json_rows.push(std::move(jrow));
         std::fflush(stdout);
     }
 
@@ -95,5 +116,22 @@ int main() {
     std::printf("Suite averages: %.1f%% delay decrease (paper: >13%%), "
                 "%.1f%% area increase (paper: ~33%%).\n",
                 speedup_sum / counted, area_sum / counted);
+
+    if (!json_path.empty()) {
+        report::json root = report::json::object();
+        root.set("bench", report::json::str("itc99"));
+        root.set("vectors", report::json::number(vectors));
+        root.set("rows", std::move(json_rows));
+        report::json averages = report::json::object();
+        averages.set("delay_decrease_pct", report::json::number(speedup_sum / counted));
+        averages.set("area_increase_pct", report::json::number(area_sum / counted));
+        root.set("suite_averages", std::move(averages));
+        try {
+            root.write_file(json_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_table3_itc99: %s\n", e.what());
+            return 1;
+        }
+    }
     return 0;
 }

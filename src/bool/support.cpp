@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 namespace plee::bf {
 
@@ -21,6 +22,27 @@ std::vector<std::uint32_t> enumerate_support_subsets(std::uint32_t full_support,
         return ca != cb ? ca < cb : a < b;
     });
     return subsets;
+}
+
+const std::vector<std::uint32_t>& cached_support_subsets(
+    std::uint32_t full_support, int max_size) {
+    if (full_support >= 64) {
+        throw std::invalid_argument(
+            "cached_support_subsets: mask outside the 6-variable space");
+    }
+    max_size = std::clamp(max_size, 0, 6);
+    // 64 masks x 7 size limits; built once, thread-safe by magic statics.
+    static const std::vector<std::vector<std::uint32_t>> table = [] {
+        std::vector<std::vector<std::uint32_t>> t(64 * 7);
+        for (std::uint32_t fs = 0; fs < 64; ++fs) {
+            for (int ms = 0; ms <= 6; ++ms) {
+                t[fs * 7 + static_cast<std::uint32_t>(ms)] =
+                    enumerate_support_subsets(fs, ms);
+            }
+        }
+        return t;
+    }();
+    return table[full_support * 7 + static_cast<std::uint32_t>(max_size)];
 }
 
 std::vector<int> support_members(std::uint32_t support) {

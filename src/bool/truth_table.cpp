@@ -14,6 +14,28 @@ void check_arity(int num_vars) {
     }
 }
 
+/// Masks for exchanging adjacent variables j and j+1 in one shift/mask step
+/// (the ABC PMasks): `keep` holds the rows where the two variables agree,
+/// `up` the rows with (x_j, x_j+1) = (1, 0) — which move up by 2^j — and
+/// `down` the rows with (0, 1), which move down by 2^j.
+struct adjacent_swap_masks {
+    std::uint64_t keep, up, down;
+};
+
+constexpr adjacent_swap_masks k_swap_masks[k_max_vars - 1] = {
+    {0x9999999999999999ull, 0x2222222222222222ull, 0x4444444444444444ull},
+    {0xC3C3C3C3C3C3C3C3ull, 0x0C0C0C0C0C0C0C0Cull, 0x3030303030303030ull},
+    {0xF00FF00FF00FF00Full, 0x00F000F000F000F0ull, 0x0F000F000F000F00ull},
+    {0xFF0000FFFF0000FFull, 0x0000FF000000FF00ull, 0x00FF000000FF0000ull},
+    {0xFFFF00000000FFFFull, 0x00000000FFFF0000ull, 0x0000FFFF00000000ull},
+};
+
+constexpr std::uint64_t swap_adjacent(std::uint64_t bits, int j) {
+    const adjacent_swap_masks& m = k_swap_masks[j];
+    const int s = 1 << j;
+    return (bits & m.keep) | ((bits & m.up) << s) | ((bits & m.down) >> s);
+}
+
 }  // namespace
 
 truth_table::truth_table(int num_vars) : num_vars_(num_vars) {
@@ -45,9 +67,7 @@ truth_table truth_table::variable(int num_vars, int var) {
         throw std::invalid_argument("truth_table::variable: index out of range");
     }
     truth_table t(num_vars);
-    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
-        if ((m >> var) & 1u) t.bits_ |= std::uint64_t{1} << m;
-    }
+    t.bits_ = k_var_mask[var] & t.full_mask();
     return t;
 }
 
@@ -108,7 +128,10 @@ bool truth_table::is_constant_one() const { return bits_ == full_mask(); }
 
 bool truth_table::depends_on(int var) const {
     if (var < 0 || var >= num_vars_) return false;
-    return cofactor(var, false).bits_ != cofactor(var, true).bits_;
+    // Align each x_var=1 row onto its x_var=0 partner; any XOR difference in
+    // the low half means the two cofactors disagree somewhere.
+    const int s = 1 << var;
+    return ((bits_ ^ (bits_ >> s)) & ~k_var_mask[var] & full_mask()) != 0;
 }
 
 std::uint32_t truth_table::support_mask() const {
@@ -125,11 +148,79 @@ truth_table truth_table::cofactor(int var, bool value) const {
     if (var < 0 || var >= num_vars_) {
         throw std::invalid_argument("truth_table::cofactor: index out of range");
     }
-    truth_table t(num_vars_);
-    for (std::uint32_t m = 0; m < num_minterms(); ++m) {
-        std::uint32_t src = value ? (m | (1u << var)) : (m & ~(1u << var));
-        if (eval(src)) t.bits_ |= std::uint64_t{1} << m;
+    const std::uint64_t m = k_var_mask[var];
+    const int s = 1 << var;
+    std::uint64_t x;
+    if (value) {
+        x = bits_ & m;
+        x |= x >> s;
+    } else {
+        x = bits_ & ~m;
+        x |= x << s;
     }
+    truth_table t(num_vars_);
+    t.bits_ = x & full_mask();
+    return t;
+}
+
+truth_table truth_table::fold_free_vars(std::uint32_t support,
+                                        bool conjunctive) const {
+    std::uint64_t x = bits_;
+    for (int v = 0; v < num_vars_; ++v) {
+        if ((support >> v) & 1u) continue;
+        const std::uint64_t m = k_var_mask[v];
+        const int s = 1 << v;
+        std::uint64_t lo = x & ~m;
+        lo |= lo << s;
+        std::uint64_t hi = x & m;
+        hi |= hi >> s;
+        x = conjunctive ? (lo & hi) : (lo | hi);
+    }
+    truth_table t(num_vars_);
+    t.bits_ = x & full_mask();
+    return t;
+}
+
+truth_table truth_table::shrink_to(std::uint32_t support) const {
+    if ((support & ~((1u << num_vars_) - 1)) != 0) {
+        throw std::invalid_argument("truth_table::shrink_to: support outside arity");
+    }
+    // Sink each support variable to the bottom of the index space (stable,
+    // ascending) with adjacent-variable swaps, then truncate to 2^k rows.
+    std::uint64_t x = bits_;
+    int target = 0;
+    for (int v = 0; v < num_vars_; ++v) {
+        if (!((support >> v) & 1u)) continue;
+        for (int j = v - 1; j >= target; --j) x = swap_adjacent(x, j);
+        ++target;
+    }
+    truth_table t(target);
+    t.bits_ = x & t.full_mask();
+    return t;
+}
+
+truth_table truth_table::expand_onto(std::uint32_t support, int num_vars) const {
+    check_arity(num_vars);
+    if (std::popcount(support) != num_vars_) {
+        throw std::invalid_argument("truth_table::expand_onto: |support| != arity");
+    }
+    if ((support >> num_vars) != 0) {
+        throw std::invalid_argument("truth_table::expand_onto: support outside arity");
+    }
+    // Vacuously widen, then float each variable up to its support position
+    // (highest first so already-placed variables stay put).
+    std::uint64_t x = bits_;
+    for (int v = num_vars_; v < num_vars; ++v) x |= x << (1 << v);
+    int member[k_max_vars] = {};
+    int k = 0;
+    for (int v = 0; v < num_vars; ++v) {
+        if ((support >> v) & 1u) member[k++] = v;
+    }
+    for (int i = k - 1; i >= 0; --i) {
+        for (int j = i; j < member[i]; ++j) x = swap_adjacent(x, j);
+    }
+    truth_table t(num_vars);
+    t.bits_ = x & t.full_mask();
     return t;
 }
 
@@ -138,11 +229,10 @@ truth_table truth_table::expand(int new_num_vars) const {
     if (new_num_vars < num_vars_) {
         throw std::invalid_argument("truth_table::expand: cannot shrink arity");
     }
+    std::uint64_t x = bits_;
+    for (int v = num_vars_; v < new_num_vars; ++v) x |= x << (1 << v);
     truth_table t(new_num_vars);
-    const std::uint32_t low_mask = num_minterms() - 1;
-    for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
-        if (eval(m & low_mask)) t.bits_ |= std::uint64_t{1} << m;
-    }
+    t.bits_ = x & t.full_mask();
     return t;
 }
 
@@ -150,14 +240,23 @@ truth_table truth_table::permute(const std::vector<int>& perm) const {
     if (perm.size() != static_cast<std::size_t>(num_vars_)) {
         throw std::invalid_argument("truth_table::permute: permutation size mismatch");
     }
-    truth_table t(num_vars_);
-    for (std::uint32_t m = 0; m < num_minterms(); ++m) {
-        std::uint32_t dst = 0;
-        for (int v = 0; v < num_vars_; ++v) {
-            if ((m >> v) & 1u) dst |= 1u << perm[static_cast<std::size_t>(v)];
+    // Bubble the variables into place with adjacent swaps: position p
+    // currently holds original variable cur[p], which must end up at
+    // position perm[cur[p]].  O(n^2) word swaps, n <= 6.
+    int cur[k_max_vars];
+    for (int v = 0; v < num_vars_; ++v) cur[v] = v;
+    std::uint64_t x = bits_;
+    for (int pass = 0; pass < num_vars_; ++pass) {
+        for (int p = 0; p + 1 < num_vars_; ++p) {
+            if (perm[static_cast<std::size_t>(cur[p])] >
+                perm[static_cast<std::size_t>(cur[p + 1])]) {
+                std::swap(cur[p], cur[p + 1]);
+                x = swap_adjacent(x, p);
+            }
         }
-        if (eval(m)) t.bits_ |= std::uint64_t{1} << dst;
     }
+    truth_table t(num_vars_);
+    t.bits_ = x & full_mask();
     return t;
 }
 

@@ -24,6 +24,16 @@ namespace plee::bf {
 /// Maximum variable count representable by truth_table (64 = 2^6 rows).
 inline constexpr int k_max_vars = 6;
 
+/// Dense projection tables over the full 6-variable space (ABC's s_Truths6):
+/// bit m of k_var_mask[v] is (m >> v) & 1, i.e. the truth table of x_v.
+/// Restricting to the low 2^n rows gives the same projection over n
+/// variables, which is what turns every per-variable operation below into a
+/// handful of shift/AND/popcount word instructions instead of a 2^n loop.
+inline constexpr std::uint64_t k_var_mask[k_max_vars] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
+};
+
 /// A complete Boolean function of `num_vars()` variables stored as a bitmask
 /// over all 2^n minterms.  Immutable-style value type: all algebraic
 /// operations return new tables.
@@ -79,6 +89,26 @@ public:
     /// Shannon cofactor with respect to `var` = `value`.  The result has the
     /// same arity but no longer depends on `var`.
     truth_table cofactor(int var, bool value) const;
+
+    /// Folds the variables outside `support` out of the function: the result
+    /// is the AND (`conjunctive`) or OR of f over every assignment of the
+    /// non-support variables, has the same arity, and no longer depends on
+    /// the folded variables.  The conjunctive fold of f (resp. of ~f) marks
+    /// the assignments whose cofactor is constant 1 (resp. constant 0) —
+    /// the universally-determined region the trigger search needs.
+    truth_table fold_free_vars(std::uint32_t support, bool conjunctive) const;
+
+    /// Projects onto `support`: drops every non-support variable by taking
+    /// its 0-cofactor and compacts the surviving variables downward in
+    /// ascending order.  Result arity = |support|.  `support` must lie
+    /// within the current variable range.
+    truth_table shrink_to(std::uint32_t support) const;
+
+    /// Inverse of shrink_to: re-expresses this k-variable function over
+    /// `num_vars` variables with variable i taking the position of the i-th
+    /// (ascending) member of `support`.  The result depends only on support
+    /// variables; |support| must equal the current arity.
+    truth_table expand_onto(std::uint32_t support, int num_vars) const;
 
     /// Re-expresses the function over a wider variable set (new variables are
     /// vacuous).  new_num_vars must be >= num_vars().

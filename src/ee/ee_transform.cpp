@@ -1,43 +1,121 @@
 #include "ee/ee_transform.hpp"
 
+#include <atomic>
+#include <exception>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "ee/trigger_cache.hpp"
 
 namespace plee::ee {
 
+namespace {
+
+struct search_job {
+    pl::gate_id master = pl::k_invalid_gate;
+    std::vector<int> pin_arrivals;
+};
+
+/// Runs the trigger search for jobs [begin, end) pulled in chunks from a
+/// shared counter, writing each best candidate to its own slot — the output
+/// is position-addressed, so any work interleaving yields the same result.
+void search_worker(const pl::pl_netlist& pl, const std::vector<search_job>& jobs,
+                   const search_options& search, std::atomic<std::size_t>& next,
+                   trigger_cache& cache,
+                   std::vector<std::optional<trigger_candidate>>& best) {
+    constexpr std::size_t k_chunk = 16;
+    for (;;) {
+        const std::size_t begin = next.fetch_add(k_chunk, std::memory_order_relaxed);
+        if (begin >= jobs.size()) return;
+        const std::size_t end = std::min(begin + k_chunk, jobs.size());
+        for (std::size_t i = begin; i < end; ++i) {
+            best[i] = find_best_trigger(pl.gate(jobs[i].master).function,
+                                        jobs[i].pin_arrivals, search, &cache)
+                          .best;
+        }
+    }
+}
+
+}  // namespace
+
 ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
     ee_stats stats;
-    trigger_cache cache;  // netlists reuse functions heavily; pure speedup
     const std::vector<int> arrival = pl.arrival_depth();
 
     // Snapshot the candidate masters first: attaching triggers appends gates
     // and edges, which must not perturb the iteration or the arrival model.
-    std::vector<pl::gate_id> masters;
+    std::vector<search_job> jobs;
     for (pl::gate_id g = 0; g < pl.num_gates(); ++g) {
-        if (pl.gate(g).kind == pl::gate_kind::compute &&
-            pl.gate(g).data_in.size() >= 2) {
-            masters.push_back(g);
-        }
-    }
-
-    for (pl::gate_id g : masters) {
-        ++stats.masters_considered;
         const pl::pl_gate& gate = pl.gate(g);
-
-        std::vector<int> pin_arrivals;
-        pin_arrivals.reserve(gate.data_in.size());
-        for (pl::edge_id e : gate.data_in) {
-            pin_arrivals.push_back(arrival[pl.edge(e).from]);
+        if (gate.kind != pl::gate_kind::compute || gate.data_in.size() < 2) {
+            continue;
         }
+        search_job job;
+        job.master = g;
+        job.pin_arrivals.reserve(gate.data_in.size());
+        for (pl::edge_id e : gate.data_in) {
+            job.pin_arrivals.push_back(arrival[pl.edge(e).from]);
+        }
+        jobs.push_back(std::move(job));
+    }
+    stats.masters_considered = jobs.size();
 
-        const search_result found =
-            find_best_trigger(gate.function, pin_arrivals, options.search, &cache);
-        if (!found.best) continue;
+    // Phase 1 — search, read-only over the netlist and safe to fan out.
+    // Each worker memoizes into its own cache (netlists reuse functions
+    // heavily); the caches are merged afterwards for the stats and because
+    // the search itself is deterministic with or without memo hits.
+    std::vector<std::optional<trigger_candidate>> best(jobs.size());
+    unsigned threads = options.num_threads != 0 ? options.num_threads
+                                                : std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, std::max<std::size_t>(jobs.size(), 1)));
 
+    trigger_cache cache;
+    if (threads <= 1) {
+        std::atomic<std::size_t> next{0};
+        search_worker(pl, jobs, options.search, next, cache, best);
+    } else {
+        std::vector<trigger_cache> caches(threads);
+        std::vector<std::exception_ptr> errors(threads);
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(threads - 1);
+        // A throw inside any leg (including the main-thread one) must still
+        // join the pool and then propagate to the caller, exactly as the
+        // sequential pass would have propagated it.
+        for (unsigned t = 1; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                try {
+                    search_worker(pl, jobs, options.search, next, caches[t], best);
+                } catch (...) {
+                    errors[t] = std::current_exception();
+                }
+            });
+        }
+        try {
+            search_worker(pl, jobs, options.search, next, caches[0], best);
+        } catch (...) {
+            errors[0] = std::current_exception();
+        }
+        for (std::thread& t : pool) t.join();
+        for (const std::exception_ptr& e : errors) {
+            if (e) std::rethrow_exception(e);
+        }
+        for (const trigger_cache& c : caches) cache.merge_from(c);
+    }
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    stats.cache_entries = cache.size();
+
+    // Phase 2 — mutate, serial and in gate order: identical output to the
+    // original sequential pass regardless of the thread count above.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!best[i]) continue;
         const pl::gate_id trig =
-            pl.attach_trigger(g, found.best->function, found.best->support);
-        stats.applied.push_back({g, trig, *found.best});
+            pl.attach_trigger(jobs[i].master, best[i]->function, best[i]->support);
+        stats.applied.push_back({jobs[i].master, trig, *best[i]});
         ++stats.triggers_added;
     }
 

@@ -25,6 +25,12 @@ struct ee_options {
     search_options search;
     /// Re-verify the marked graph after the transform (throws on failure).
     bool verify = true;
+    /// Worker threads for the per-gate trigger search (the netlist-scale hot
+    /// loop).  0 = one per hardware thread, 1 = fully sequential.  The
+    /// search phase is pure, results are collected per gate index, and the
+    /// netlist mutation phase stays serial in gate order — so the transform
+    /// is bit-identical for every thread count.
+    unsigned num_threads = 0;
 };
 
 /// One applied master/trigger pair, for reporting.
@@ -38,6 +44,10 @@ struct ee_stats {
     std::size_t masters_considered = 0;
     std::size_t triggers_added = 0;
     std::vector<applied_trigger> applied;
+    /// Trigger-cache counters, merged across worker threads.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::size_t cache_entries = 0;
 };
 
 /// Applies Early Evaluation in place.  Arrival depths are computed once on

@@ -1,18 +1,106 @@
 #include "ee/trigger_cache.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <vector>
+
 #include "ee/trigger_search.hpp"
 
 namespace plee::ee {
 
-const bf::truth_table& trigger_cache::exact(const bf::truth_table& master,
-                                            std::uint32_t support) {
-    const key k{master.bits(), support, master.num_vars()};
-    if (auto it = memo_.find(k); it != memo_.end()) {
-        ++hits_;
-        return it->second;
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t trigger_cache::mix_key(std::uint64_t bits, std::uint32_t support,
+                                     int num_vars) {
+    return splitmix64(bits ^ splitmix64((static_cast<std::uint64_t>(support) << 8) |
+                                        static_cast<std::uint64_t>(num_vars)));
+}
+
+trigger_cache::canonical_form trigger_cache::canonicalize(const bf::truth_table& f) {
+    const int n = f.num_vars();
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+
+    canonical_form best;
+    best.bits = f.bits();
+    for (int v = 0; v < n; ++v) best.perm[static_cast<std::size_t>(v)] =
+        static_cast<std::uint8_t>(v);
+
+    // next_permutation enumerates in ascending lexicographic order, so with
+    // a strict < the first permutation reaching the minimum wins the tie.
+    while (std::next_permutation(perm.begin(), perm.end())) {
+        const std::uint64_t bits = f.permute(perm).bits();
+        if (bits < best.bits) {
+            best.bits = bits;
+            for (int v = 0; v < n; ++v) {
+                best.perm[static_cast<std::size_t>(v)] =
+                    static_cast<std::uint8_t>(perm[static_cast<std::size_t>(v)]);
+            }
+        }
     }
-    ++misses_;
-    return memo_.emplace(k, exact_trigger_function(master, support)).first->second;
+    return best;
+}
+
+bf::truth_table trigger_cache::exact(const bf::truth_table& master,
+                                     std::uint32_t support) {
+    const int n = master.num_vars();
+
+    const key ck{master.bits(), 0, n};
+    auto cit = canon_memo_.find(ck);
+    if (cit == canon_memo_.end()) {
+        cit = canon_memo_.emplace(ck, canonicalize(master)).first;
+    }
+    const canonical_form& cf = cit->second;
+
+    std::uint32_t canon_support = 0;
+    for (int v = 0; v < n; ++v) {
+        if ((support >> v) & 1u) canon_support |= 1u << cf.perm[static_cast<std::size_t>(v)];
+    }
+
+    const key tk{cf.bits, canon_support, n};
+    auto it = memo_.find(tk);
+    if (it != memo_.end()) {
+        ++hits_;
+    } else {
+        ++misses_;
+        it = memo_.emplace(tk, exact_trigger_function(bf::truth_table(n, cf.bits),
+                                                      canon_support))
+                 .first;
+    }
+    const bf::truth_table& canon_trig = it->second;
+
+    // Un-permute: the caller's trigger variable i is the i-th (ascending)
+    // member of `support`; under cf.perm it lands at canonical position
+    // cf.perm[member], whose rank within canon_support is the canonical
+    // trigger variable carrying its role.  permute() wants the map from old
+    // (canonical) variables to new (caller) variables, i.e. the inverse.
+    std::vector<int> canon_to_caller(static_cast<std::size_t>(canon_trig.num_vars()));
+    int i = 0;
+    for (int v = 0; v < n; ++v) {
+        if (!((support >> v) & 1u)) continue;
+        const std::uint32_t canon_pos = cf.perm[static_cast<std::size_t>(v)];
+        const int rank = std::popcount(canon_support & ((1u << canon_pos) - 1));
+        canon_to_caller[static_cast<std::size_t>(rank)] = i;
+        ++i;
+    }
+    return canon_trig.permute(canon_to_caller);
+}
+
+void trigger_cache::merge_from(const trigger_cache& other) {
+    for (const auto& [k, v] : other.memo_) memo_.emplace(k, v);
+    for (const auto& [k, v] : other.canon_memo_) canon_memo_.emplace(k, v);
+    hits_ += other.hits_;
+    misses_ += other.misses_;
 }
 
 }  // namespace plee::ee

@@ -1,15 +1,24 @@
-// trigger_cache.hpp — memoization of exact trigger functions.
+// trigger_cache.hpp — P-canonical memoization of exact trigger functions.
 //
 // The trigger of a support set depends only on the master's truth table and
 // the support mask — not on the netlist context — and a LUT4 master has only
 // 2^16 possible functions.  Real netlists reuse a small set of functions
 // (carry majorities, AND/OR trees, muxes), so a per-run memo turns the
 // 14-support-set sweep into table lookups after the first occurrence of each
-// function.  bench_micro quantifies the effect; the cached and uncached
-// searches are cross-checked in the tests.
+// function.
+//
+// The memo keys on the *P-canonical* (input-permutation-canonical) form of
+// the master: permuting a master's inputs permutes its triggers the same
+// way, so the 2^16 LUT4 functions collapse to their 3984 permutation
+// classes.  A lookup canonicalizes the master (memoized per function),
+// relabels the support through the canonicalizing permutation, fetches or
+// computes the canonical trigger, and un-permutes it back to the caller's
+// pin order.  bench_micro quantifies the effect; cached and uncached
+// searches are cross-checked bit-for-bit in the tests.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -20,12 +29,35 @@ namespace plee::ee {
 class trigger_cache {
 public:
     /// Cached equivalent of exact_trigger_function(master, support).
-    const bf::truth_table& exact(const bf::truth_table& master,
-                                 std::uint32_t support);
+    bf::truth_table exact(const bf::truth_table& master, std::uint32_t support);
+
+    /// Absorbs another cache's entries and counters — the parallel EE pass
+    /// merges its per-thread caches through this after joining.
+    void merge_from(const trigger_cache& other);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /// Number of cached canonical (function-class, support) triggers.
     std::size_t size() const { return memo_.size(); }
+    /// Number of distinct master functions canonicalized so far.
+    std::size_t canonicalized_masters() const { return canon_memo_.size(); }
+
+    /// A P-canonical form: the minimal truth-table bits over all input
+    /// permutations of the function, plus one permutation achieving it
+    /// (perm[v] is the canonical position of original variable v).
+    struct canonical_form {
+        std::uint64_t bits = 0;
+        std::array<std::uint8_t, bf::k_max_vars> perm{};
+    };
+    /// Exhaustive n!-enumeration canonicalization (n <= 6; 24 word-level
+    /// permutes for a LUT4).  Deterministic: ties broken by the
+    /// lexicographically smallest permutation.
+    static canonical_form canonicalize(const bf::truth_table& f);
+
+    /// The 64-bit key mixer (splitmix64 finalization over all key fields),
+    /// exposed so the tests can assert its collision distribution.
+    static std::uint64_t mix_key(std::uint64_t bits, std::uint32_t support,
+                                 int num_vars);
 
 private:
     struct key {
@@ -36,14 +68,15 @@ private:
     };
     struct key_hash {
         std::size_t operator()(const key& k) const {
-            std::size_t h = static_cast<std::size_t>(k.bits * 0x9e3779b97f4a7c15ull);
-            h ^= (static_cast<std::size_t>(k.support) << 7) ^
-                 static_cast<std::size_t>(k.num_vars);
-            return h;
+            return static_cast<std::size_t>(mix_key(k.bits, k.support, k.num_vars));
         }
     };
 
+    /// Canonical triggers, keyed on (canonical master bits, canonical
+    /// support).
     std::unordered_map<key, bf::truth_table, key_hash> memo_;
+    /// Canonicalization results per concrete master function (support 0).
+    std::unordered_map<key, canonical_form, key_hash> canon_memo_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -11,6 +11,17 @@ namespace plee::ee {
 
 namespace {
 
+void check_support(const bf::truth_table& master, std::uint32_t support,
+                   const char* who) {
+    const int k = std::popcount(support);
+    if (k == 0 || k >= master.num_vars() ||
+        (support >> master.num_vars()) != 0) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": support must be a non-empty proper "
+                                    "subset of the master's inputs");
+    }
+}
+
 /// Expands a compressed assignment of the support pins into a full-width
 /// minterm (non-support pins 0).
 std::uint32_t spread(std::uint32_t packed, const std::vector<int>& members) {
@@ -25,12 +36,69 @@ std::uint32_t spread(std::uint32_t packed, const std::vector<int>& members) {
 
 bf::truth_table exact_trigger_function(const bf::truth_table& master,
                                        std::uint32_t support) {
+    check_support(master, support, "exact_trigger_function");
+    // A support assignment is determined exactly when the cofactor over the
+    // free variables is constant 1 (the conjunctive fold of f survives) or
+    // constant 0 (the conjunctive fold of ~f survives).
+    const bf::truth_table determined = master.fold_free_vars(support, true) |
+                                       (~master).fold_free_vars(support, true);
+    return determined.shrink_to(support);
+}
+
+bf::truth_table cube_list_trigger_function(const bf::truth_table& master,
+                                           const bf::on_off_cover& cover,
+                                           std::uint32_t support) {
+    check_support(master, support, "cube_list_trigger_function");
     const std::vector<int> members = bf::support_members(support);
     const int k = static_cast<int>(members.size());
-    if (k == 0 || k >= master.num_vars()) {
-        throw std::invalid_argument("exact_trigger_function: support must be a "
-                                    "non-empty proper subset");
+
+    // "Since 2 cubes in Table 2 depend only upon master inputs a and b ...
+    // a coverage of 50% is computed for the trigger function": each cube of
+    // either cover that is confined to the support becomes a product of
+    // projection masks over the compressed pins — one AND per bound literal.
+    const std::uint64_t full_k =
+        k == bf::k_max_vars ? ~std::uint64_t{0}
+                            : ((std::uint64_t{1} << (1u << k)) - 1);
+    std::uint64_t bits = 0;
+    auto absorb = [&](const bf::cube_list& cubes) {
+        const bf::cube_list confined = cubes.restricted_to_support(support);
+        for (const bf::cube& c : confined.cubes()) {
+            std::uint64_t t = full_k;
+            for (int i = 0; i < k; ++i) {
+                const int v = members[static_cast<std::size_t>(i)];
+                if (!((c.care_mask() >> v) & 1u)) continue;
+                t &= ((c.value_mask() >> v) & 1u) ? bf::k_var_mask[i]
+                                                  : ~bf::k_var_mask[i];
+            }
+            bits |= t;
+        }
+    };
+    absorb(cover.on);
+    absorb(cover.off);
+    return bf::truth_table(k, bits & full_k);
+}
+
+int covered_minterms(const bf::truth_table& master, std::uint32_t support,
+                     const bf::truth_table& trigger) {
+    if (trigger.num_vars() != std::popcount(support)) {
+        throw std::invalid_argument("covered_minterms: trigger arity != |support|");
     }
+    if ((support >> master.num_vars()) != 0) {
+        throw std::invalid_argument("covered_minterms: support outside the "
+                                    "master's inputs");
+    }
+    // Every firing support assignment covers exactly one completion per
+    // assignment of the free variables: popcount times 2^(free vars).
+    return trigger.count_ones() << (master.num_vars() - trigger.num_vars());
+}
+
+namespace scalar {
+
+bf::truth_table exact_trigger_function(const bf::truth_table& master,
+                                       std::uint32_t support) {
+    check_support(master, support, "scalar::exact_trigger_function");
+    const std::vector<int> members = bf::support_members(support);
+    const int k = static_cast<int>(members.size());
     // Free (non-support) variables of the master.
     std::vector<int> free_vars;
     for (int v = 0; v < master.num_vars(); ++v) {
@@ -58,17 +126,10 @@ bf::truth_table exact_trigger_function(const bf::truth_table& master,
 bf::truth_table cube_list_trigger_function(const bf::truth_table& master,
                                            const bf::on_off_cover& cover,
                                            std::uint32_t support) {
+    check_support(master, support, "scalar::cube_list_trigger_function");
     const std::vector<int> members = bf::support_members(support);
     const int k = static_cast<int>(members.size());
-    if (k == 0 || k >= master.num_vars()) {
-        throw std::invalid_argument("cube_list_trigger_function: support must be a "
-                                    "non-empty proper subset");
-    }
 
-    // "Since 2 cubes in Table 2 depend only upon master inputs a and b ...
-    // a coverage of 50% is computed for the trigger function": collect the
-    // cubes of both covers confined to the support and project them onto the
-    // support pins.
     bf::truth_table trig(k);
     auto absorb = [&](const bf::cube_list& cubes) {
         const bf::cube_list confined = cubes.restricted_to_support(support);
@@ -100,6 +161,8 @@ int covered_minterms(const bf::truth_table& master, std::uint32_t support,
     return covered;
 }
 
+}  // namespace scalar
+
 double equation1_cost(double coverage_percent, int master_max_arrival,
                       int trigger_max_arrival) {
     return coverage_percent * (static_cast<double>(master_max_arrival) + 1.0) /
@@ -126,19 +189,32 @@ search_result find_best_trigger(const bf::truth_table& master,
         cover = bf::make_on_off_cover(master);
     }
 
-    for (std::uint32_t support :
-         bf::enumerate_support_subsets(all_pins, options.max_support_size)) {
+    const std::vector<std::uint32_t>& supports =
+        bf::cached_support_subsets(all_pins, options.max_support_size);
+    result.all.reserve(supports.size());
+    for (std::uint32_t support : supports) {
         trigger_candidate cand;
         cand.support = support;
         if (options.method == trigger_method::exact) {
-            cand.function = cache != nullptr ? cache->exact(master, support)
-                                             : exact_trigger_function(master, support);
+            if (options.use_scalar_kernels) {
+                cand.function = scalar::exact_trigger_function(master, support);
+            } else {
+                cand.function = cache != nullptr
+                                    ? cache->exact(master, support)
+                                    : exact_trigger_function(master, support);
+            }
         } else {
-            cand.function = cube_list_trigger_function(master, *cover, support);
+            cand.function = options.use_scalar_kernels
+                                ? scalar::cube_list_trigger_function(master, *cover,
+                                                                     support)
+                                : cube_list_trigger_function(master, *cover, support);
         }
         if (cand.function.is_constant_zero()) continue;
 
-        cand.covered_minterms = covered_minterms(master, support, cand.function);
+        cand.covered_minterms =
+            options.use_scalar_kernels
+                ? scalar::covered_minterms(master, support, cand.function)
+                : covered_minterms(master, support, cand.function);
         cand.coverage_percent =
             100.0 * cand.covered_minterms / static_cast<double>(master.num_minterms());
         // Full coverage means the master never needed the other inputs at
@@ -147,7 +223,8 @@ search_result find_best_trigger(const bf::truth_table& master,
 
         cand.master_max_arrival = master_max_arrival;
         cand.trigger_max_arrival = 0;
-        for (int v : bf::support_members(support)) {
+        for (std::uint32_t rest = support; rest != 0; rest &= rest - 1) {
+            const int v = std::countr_zero(rest);
             cand.trigger_max_arrival =
                 std::max(cand.trigger_max_arrival, pin_arrivals[static_cast<std::size_t>(v)]);
         }

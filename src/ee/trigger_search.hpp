@@ -55,6 +55,11 @@ struct trigger_candidate {
 /// The exact trigger for support S: one output bit per assignment of the S
 /// pins, set when the master cofactor under that assignment is constant.
 /// The result's arity equals the number of pins in `support`.
+///
+/// Computed word-parallel: the conjunctive fold of the master (resp. its
+/// complement) over the free variables marks the constant-1 (resp.
+/// constant-0) cofactors in one shift/AND cascade, and shrinking the union
+/// onto S yields the trigger — no per-minterm eval loop.
 bf::truth_table exact_trigger_function(const bf::truth_table& master,
                                        std::uint32_t support);
 
@@ -75,6 +80,21 @@ int covered_minterms(const bf::truth_table& master, std::uint32_t support,
 double equation1_cost(double coverage_percent, int master_max_arrival,
                       int trigger_max_arrival);
 
+/// Retained scalar reference implementations of the three kernels above:
+/// the original per-minterm eval() loops, kept verbatim as the ground truth
+/// the word-parallel versions are exhaustively cross-checked against (all
+/// 2^16 LUT4 masters x all support sets) and as the baseline the speedup in
+/// BENCH_trigger.json is measured from.  Semantically identical.
+namespace scalar {
+bf::truth_table exact_trigger_function(const bf::truth_table& master,
+                                       std::uint32_t support);
+bf::truth_table cube_list_trigger_function(const bf::truth_table& master,
+                                           const bf::on_off_cover& cover,
+                                           std::uint32_t support);
+int covered_minterms(const bf::truth_table& master, std::uint32_t support,
+                     const bf::truth_table& trigger);
+}  // namespace scalar
+
 struct search_options {
     trigger_method method = trigger_method::exact;
     int max_support_size = 3;       ///< the paper's "3 or fewer variables"
@@ -86,6 +106,11 @@ struct search_options {
     /// this off selects by raw coverage only — the ablation the paper argues
     /// against ("a large coverage ... may depend on slowly arriving signals").
     bool weight_by_arrival = true;
+    /// Route trigger derivation and coverage counting through the scalar
+    /// reference kernels instead of the word-parallel ones.  For the
+    /// cross-check tests and the baseline leg of bench_micro; results are
+    /// identical either way.
+    bool use_scalar_kernels = false;
 };
 
 struct search_result {

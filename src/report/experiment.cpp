@@ -1,5 +1,7 @@
 #include "report/experiment.hpp"
 
+#include "report/json.hpp"
+
 namespace plee::report {
 
 experiment_row run_ee_experiment(const std::string& description,
@@ -33,6 +35,25 @@ experiment_row run_ee_experiment(const std::string& description,
     row.delay_decrease_pct =
         row.delay_no_ee == 0.0 ? 0.0 : 100.0 * row.delay_diff / row.delay_no_ee;
     return row;
+}
+
+json to_json(const experiment_row& row) {
+    json j = json::object();
+    j.set("description", json::str(row.description));
+    j.set("pl_gates", json::number(row.pl_gates));
+    j.set("ee_gates", json::number(row.ee_gates));
+    j.set("delay_no_ee_ns", json::number(row.delay_no_ee));
+    j.set("delay_ee_ns", json::number(row.delay_ee));
+    j.set("delay_diff_ns", json::number(row.delay_diff));
+    j.set("area_increase_pct", json::number(row.area_increase_pct));
+    j.set("delay_decrease_pct", json::number(row.delay_decrease_pct));
+    j.set("triggers_added", json::number(row.ee_detail.triggers_added));
+    j.set("masters_considered", json::number(row.ee_detail.masters_considered));
+    j.set("trigger_cache_hits", json::number(static_cast<std::int64_t>(
+                                    row.ee_detail.cache_hits)));
+    j.set("trigger_cache_misses", json::number(static_cast<std::int64_t>(
+                                      row.ee_detail.cache_misses)));
+    return j;
 }
 
 }  // namespace plee::report

@@ -44,4 +44,9 @@ experiment_row run_ee_experiment(const std::string& description,
                                  const nl::netlist& netlist,
                                  const experiment_options& options = {});
 
+class json;
+
+/// One experiment row as a JSON object (the schema of BENCH_itc99.json).
+json to_json(const experiment_row& row);
+
 }  // namespace plee::report

@@ -8,7 +8,9 @@
 
 #include <bit>
 #include <limits>
+#include <string>
 
+#include "bench_circuits/itc99.hpp"
 #include "plogic/pl_mapper.hpp"
 #include "synth/rtl.hpp"
 
@@ -126,6 +128,95 @@ TEST(EeTransform, AppliedCandidatesRespectPolicy) {
         EXPECT_LT(at.candidate.trigger_max_arrival, at.candidate.master_max_arrival);
         EXPECT_GT(at.candidate.covered_minterms, 0);
     }
+}
+
+/// Gate-for-gate, edge-for-edge structural equality of two PL netlists.
+void expect_identical_netlists(const pl::pl_netlist& a, const pl::pl_netlist& b) {
+    ASSERT_EQ(a.num_gates(), b.num_gates());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (pl::gate_id g = 0; g < a.num_gates(); ++g) {
+        const pl::pl_gate& ga = a.gate(g);
+        const pl::pl_gate& gb = b.gate(g);
+        ASSERT_EQ(ga.kind, gb.kind) << "gate " << g;
+        ASSERT_EQ(ga.name, gb.name) << "gate " << g;
+        ASSERT_EQ(ga.function, gb.function) << "gate " << g;
+        ASSERT_EQ(ga.trigger, gb.trigger) << "gate " << g;
+        ASSERT_EQ(ga.master, gb.master) << "gate " << g;
+        ASSERT_EQ(ga.efire_in, gb.efire_in) << "gate " << g;
+        ASSERT_EQ(ga.trigger_support, gb.trigger_support) << "gate " << g;
+        ASSERT_EQ(ga.in_edges, gb.in_edges) << "gate " << g;
+        ASSERT_EQ(ga.out_edges, gb.out_edges) << "gate " << g;
+        ASSERT_EQ(ga.data_in, gb.data_in) << "gate " << g;
+    }
+    for (pl::edge_id e = 0; e < a.num_edges(); ++e) {
+        const pl::pl_edge& ea = a.edge(e);
+        const pl::pl_edge& eb = b.edge(e);
+        ASSERT_EQ(ea.from, eb.from) << "edge " << e;
+        ASSERT_EQ(ea.to, eb.to) << "edge " << e;
+        ASSERT_EQ(ea.kind, eb.kind) << "edge " << e;
+        ASSERT_EQ(ea.to_pin, eb.to_pin) << "edge " << e;
+        ASSERT_EQ(ea.init_token, eb.init_token) << "edge " << e;
+        ASSERT_EQ(ea.init_value, eb.init_value) << "edge " << e;
+    }
+}
+
+TEST(EeTransform, ParallelPassIsBitIdenticalToSequential) {
+    // The batched thread-parallel search must be a pure speedup: identical
+    // triggers, identical netlist, identical stats — on real circuits.
+    for (const char* id : {"b05", "b07", "b10"}) {
+        const nl::netlist n = bench::build_benchmark(id);
+
+        pl::map_result seq = pl::map_to_phased_logic(n);
+        ee_options seq_opts;
+        seq_opts.num_threads = 1;
+        const ee_stats seq_stats = apply_early_evaluation(seq.pl, seq_opts);
+
+        for (unsigned threads : {2u, 4u, 7u}) {
+            pl::map_result par = pl::map_to_phased_logic(n);
+            ee_options par_opts;
+            par_opts.num_threads = threads;
+            const ee_stats par_stats = apply_early_evaluation(par.pl, par_opts);
+
+            EXPECT_EQ(par_stats.masters_considered, seq_stats.masters_considered)
+                << id << " threads=" << threads;
+            ASSERT_EQ(par_stats.triggers_added, seq_stats.triggers_added)
+                << id << " threads=" << threads;
+            for (std::size_t i = 0; i < seq_stats.applied.size(); ++i) {
+                ASSERT_EQ(par_stats.applied[i].master, seq_stats.applied[i].master);
+                ASSERT_EQ(par_stats.applied[i].trigger, seq_stats.applied[i].trigger);
+                ASSERT_EQ(par_stats.applied[i].candidate.support,
+                          seq_stats.applied[i].candidate.support);
+                ASSERT_EQ(par_stats.applied[i].candidate.function,
+                          seq_stats.applied[i].candidate.function);
+                ASSERT_EQ(par_stats.applied[i].candidate.cost,
+                          seq_stats.applied[i].candidate.cost);
+            }
+            expect_identical_netlists(par.pl, seq.pl);
+        }
+    }
+}
+
+TEST(EeTransform, DefaultThreadCountMatchesSequential) {
+    // num_threads = 0 (auto) must still be bit-identical.
+    const nl::netlist n = bench::build_benchmark("b08");
+    pl::map_result seq = pl::map_to_phased_logic(n);
+    ee_options seq_opts;
+    seq_opts.num_threads = 1;
+    apply_early_evaluation(seq.pl, seq_opts);
+
+    pl::map_result autop = pl::map_to_phased_logic(n);
+    apply_early_evaluation(autop.pl);  // defaults: auto thread count
+    expect_identical_netlists(autop.pl, seq.pl);
+}
+
+TEST(EeTransform, CacheCountersAreReported) {
+    pl::map_result mapped = pl::map_to_phased_logic(ripple_adder());
+    const ee_stats stats = apply_early_evaluation(mapped.pl);
+    // The adder reuses the same full-adder LUTs: the canonical cache must
+    // have both compulsory misses and reuse hits.
+    EXPECT_GT(stats.cache_misses, 0u);
+    EXPECT_GT(stats.cache_hits, 0u);
+    EXPECT_GT(stats.cache_entries, 0u);
 }
 
 TEST(EeTransform, IdempotencePerMasterIsEnforced) {

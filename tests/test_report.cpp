@@ -1,9 +1,13 @@
-// Tests for the table renderer and the end-to-end Table 3 experiment row.
+// Tests for the table renderer, the JSON serializer behind the BENCH_*.json
+// artifacts, and the end-to-end Table 3 experiment row.
 
 #include "report/experiment.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 #include "synth/rtl.hpp"
 
@@ -86,6 +90,62 @@ TEST(Experiment, ThresholdSuppressesEe) {
     const experiment_row row = run_ee_experiment("suppressed", n, opts);
     EXPECT_EQ(row.ee_gates, 0u);
     EXPECT_EQ(row.area_increase_pct, 0.0);
+}
+
+TEST(Json, SerializesNestedValuesDeterministically) {
+    json root = json::object();
+    root.set("name", json::str("trigger"));
+    root.set("speedup", json::number(5.25));
+    root.set("count", json::number(14));
+    root.set("ok", json::boolean(true));
+    json arr = json::array();
+    arr.push(json::number(1));
+    arr.push(json::str("two\n\"quoted\""));
+    arr.push(json::number(2));
+    root.set("items", std::move(arr));
+    root.set("empty_obj", json::object());
+    root.set("empty_arr", json::array());
+
+    const std::string s = root.dump();
+    EXPECT_EQ(s,
+              "{\n"
+              "  \"name\": \"trigger\",\n"
+              "  \"speedup\": 5.25,\n"
+              "  \"count\": 14,\n"
+              "  \"ok\": true,\n"
+              "  \"items\": [\n"
+              "    1,\n"
+              "    \"two\\n\\\"quoted\\\"\",\n"
+              "    2\n"
+              "  ],\n"
+              "  \"empty_obj\": {},\n"
+              "  \"empty_arr\": []\n"
+              "}\n");
+}
+
+TEST(Json, RejectsKindMisuse) {
+    json arr = json::array();
+    EXPECT_THROW(arr.set("k", json::number(1)), std::logic_error);
+    json obj = json::object();
+    EXPECT_THROW(obj.push(json::number(1)), std::logic_error);
+}
+
+TEST(Json, ExperimentRowRoundTripsAllColumns) {
+    experiment_row row;
+    row.description = "demo";
+    row.pl_gates = 10;
+    row.ee_gates = 4;
+    row.delay_no_ee = 12.5;
+    row.delay_ee = 10.0;
+    row.delay_diff = 2.5;
+    row.area_increase_pct = 40.0;
+    row.delay_decrease_pct = 20.0;
+    const std::string s = to_json(row).dump();
+    EXPECT_NE(s.find("\"description\": \"demo\""), std::string::npos);
+    EXPECT_NE(s.find("\"pl_gates\": 10"), std::string::npos);
+    EXPECT_NE(s.find("\"ee_gates\": 4"), std::string::npos);
+    EXPECT_NE(s.find("\"delay_no_ee_ns\": 12.5"), std::string::npos);
+    EXPECT_NE(s.find("\"area_increase_pct\": 40"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Tests for the P-canonical trigger cache: canonicalization properties, the
+// permutation-class collapse, cross-thread merging, and the collision
+// distribution of the 64-bit key mixer (the weak shifted-XOR hash it
+// replaced clustered badly under unordered_map's power-of-two bucketing).
+
+#include "ee/trigger_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "bool/support.hpp"
+#include "ee/trigger_search.hpp"
+
+namespace plee::ee {
+namespace {
+
+TEST(TriggerCache, CanonicalFormIsPermutationInvariant) {
+    // Every input permutation of a function must canonicalize to the same
+    // bits, and the stored permutation must actually map there.
+    std::uint64_t state = 11;
+    for (int trial = 0; trial < 50; ++trial) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const bf::truth_table f(4, state & 0xffff);
+        const trigger_cache::canonical_form canon = trigger_cache::canonicalize(f);
+
+        std::vector<int> perm = {0, 1, 2, 3};
+        do {
+            const bf::truth_table g = f.permute(perm);
+            const trigger_cache::canonical_form canon_g =
+                trigger_cache::canonicalize(g);
+            ASSERT_EQ(canon_g.bits, canon.bits);
+            // The witness permutation reproduces the canonical bits.
+            std::vector<int> witness(4);
+            for (int v = 0; v < 4; ++v) witness[v] = canon_g.perm[v];
+            ASSERT_EQ(g.permute(witness).bits(), canon.bits);
+        } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+}
+
+TEST(TriggerCache, PermutedMastersShareCacheEntries) {
+    // Sweeping a master and then any input permutation of it must add no new
+    // canonical entries: the second sweep is all hits.
+    trigger_cache cache;
+    const bf::truth_table f(4, 0x1ee8);  // random irregular LUT4
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) cache.exact(f, s);
+    const std::size_t entries = cache.size();
+    const std::uint64_t misses = cache.misses();
+
+    std::vector<int> perm = {2, 0, 3, 1};
+    const bf::truth_table g = f.permute(perm);
+    std::vector<bf::truth_table> via_cache;
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+        via_cache.push_back(cache.exact(g, s));
+    }
+    EXPECT_EQ(cache.size(), entries);
+    EXPECT_EQ(cache.misses(), misses);
+
+    // And the un-permuted answers are still exactly right.
+    std::size_t i = 0;
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+        EXPECT_EQ(via_cache[i++], exact_trigger_function(g, s));
+    }
+}
+
+TEST(TriggerCache, MergeFromCombinesEntriesAndCounters) {
+    trigger_cache a;
+    trigger_cache b;
+    const bf::truth_table f(4, 0x8001);
+    const bf::truth_table g(4, 0x7ee1);
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+        a.exact(f, s);
+        b.exact(g, s);
+    }
+    const std::uint64_t total_misses = a.misses() + b.misses();
+    const std::size_t size_a = a.size();
+
+    a.merge_from(b);
+    EXPECT_GE(a.size(), size_a);
+    EXPECT_EQ(a.misses(), total_misses);
+
+    // Everything b knew is now served from a without new misses.
+    const std::uint64_t misses_before = a.misses();
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) a.exact(g, s);
+    EXPECT_EQ(a.misses(), misses_before);
+}
+
+TEST(TriggerCache, KeyMixerHasNoCollisionClustering) {
+    // All 2^16 LUT4 functions x all 14 supports: the mixed keys must be
+    // collision-free (they are distinct keys) and spread evenly across the
+    // low-order bits unordered_map actually uses for bucketing.  The old
+    // `(bits * phi) ^ (support << 7) ^ num_vars` mix collided whole support
+    // families onto shared low bits.
+    const std::vector<std::uint32_t>& supports = bf::cached_support_subsets(0xf, 3);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(65536u * supports.size());
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        for (std::uint32_t s : supports) {
+            keys.push_back(trigger_cache::mix_key(f, s, 4));
+        }
+    }
+
+    // Distinctness of the full 64-bit mix.
+    std::vector<std::uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+
+    // Low-bit balance: with 917504 keys over 4096 buckets the expected load
+    // is 224; a healthy mixer stays within ~25% of it everywhere.
+    constexpr std::size_t k_buckets = 4096;
+    std::vector<std::size_t> load(k_buckets, 0);
+    for (std::uint64_t k : keys) ++load[k & (k_buckets - 1)];
+    const double expected =
+        static_cast<double>(keys.size()) / static_cast<double>(k_buckets);
+    const std::size_t max_load = *std::max_element(load.begin(), load.end());
+    const std::size_t min_load = *std::min_element(load.begin(), load.end());
+    EXPECT_LT(static_cast<double>(max_load), expected * 1.25);
+    EXPECT_GT(static_cast<double>(min_load), expected * 0.75);
+}
+
+TEST(TriggerCache, MixKeySeparatesFieldVariants) {
+    // Same bits, different support / arity must produce different keys.
+    const std::uint64_t base = trigger_cache::mix_key(0xcafe, 0b011, 4);
+    EXPECT_NE(base, trigger_cache::mix_key(0xcafe, 0b101, 4));
+    EXPECT_NE(base, trigger_cache::mix_key(0xcafe, 0b011, 5));
+    EXPECT_NE(base, trigger_cache::mix_key(0xcaff, 0b011, 4));
+}
+
+}  // namespace
+}  // namespace plee::ee

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace plee::bf {
 namespace {
@@ -152,6 +156,201 @@ INSTANTIATE_TEST_SUITE_P(Spread, TruthTableProperty,
                          ::testing::Values(0x0000u, 0xffffu, 0x8000u, 0x0001u,
                                            0x6996u, 0x1ee1u, 0xcafeu, 0x1234u,
                                            0xf0f0u, 0xaaaa, 0x5a5au, 0x7777u));
+
+// ---------------------------------------------------------------------------
+// Word-parallel kernels: every branch-free shift/AND implementation is
+// cross-checked against a per-minterm model built with from_function, over
+// random tables of every arity up to 6.
+// ---------------------------------------------------------------------------
+
+std::uint64_t next_state(std::uint64_t& s) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s;
+}
+
+truth_table random_table(int n, std::uint64_t& s) {
+    const std::uint64_t mask =
+        n == 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << n)) - 1);
+    return truth_table(n, next_state(s) & mask);
+}
+
+TEST(TruthTableKernels, VarMasksAreTheProjectionTables) {
+    for (int n = 1; n <= k_max_vars; ++n) {
+        for (int v = 0; v < n; ++v) {
+            const truth_table expected = truth_table::from_function(
+                n, [v](std::uint32_t m) { return ((m >> v) & 1u) != 0; });
+            EXPECT_EQ(truth_table::variable(n, v), expected);
+        }
+    }
+}
+
+TEST(TruthTableKernels, CofactorMatchesPerMintermModel) {
+    std::uint64_t s = 1;
+    for (int trial = 0; trial < 200; ++trial) {
+        for (int n = 1; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(n, s);
+            for (int v = 0; v < n; ++v) {
+                for (bool value : {false, true}) {
+                    const truth_table expected = truth_table::from_function(
+                        n, [&](std::uint32_t m) {
+                            const std::uint32_t src =
+                                value ? (m | (1u << v)) : (m & ~(1u << v));
+                            return f.eval(src);
+                        });
+                    ASSERT_EQ(f.cofactor(v, value), expected)
+                        << "n=" << n << " v=" << v << " value=" << value;
+                }
+            }
+        }
+    }
+}
+
+TEST(TruthTableKernels, DependsOnAndSupportMatchCofactors) {
+    std::uint64_t s = 2;
+    for (int trial = 0; trial < 500; ++trial) {
+        for (int n = 1; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(n, s);
+            std::uint32_t expected_mask = 0;
+            for (int v = 0; v < n; ++v) {
+                const bool dep = f.cofactor(v, false) != f.cofactor(v, true);
+                ASSERT_EQ(f.depends_on(v), dep);
+                if (dep) expected_mask |= 1u << v;
+            }
+            ASSERT_EQ(f.support_mask(), expected_mask);
+        }
+    }
+}
+
+TEST(TruthTableKernels, FoldFreeVarsIsTheQuantifierPair) {
+    // Conjunctive fold = universal quantification over the free variables,
+    // disjunctive fold = existential, evaluated per support assignment.
+    std::uint64_t s = 3;
+    for (int trial = 0; trial < 100; ++trial) {
+        for (int n = 2; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(n, s);
+            const std::uint32_t all = (1u << n) - 1;
+            for (std::uint32_t support = 0; support <= all; ++support) {
+                const std::uint32_t free_mask = all & ~support;
+                const truth_table expected_all = truth_table::from_function(
+                    n, [&](std::uint32_t m) {
+                        for (std::uint32_t sub = free_mask;;
+                             sub = (sub - 1) & free_mask) {
+                            if (!f.eval((m & ~free_mask) | sub)) return false;
+                            if (sub == 0) break;
+                        }
+                        return true;
+                    });
+                const truth_table expected_any = truth_table::from_function(
+                    n, [&](std::uint32_t m) {
+                        for (std::uint32_t sub = free_mask;;
+                             sub = (sub - 1) & free_mask) {
+                            if (f.eval((m & ~free_mask) | sub)) return true;
+                            if (sub == 0) break;
+                        }
+                        return false;
+                    });
+                ASSERT_EQ(f.fold_free_vars(support, true), expected_all)
+                    << "n=" << n << " support=" << support;
+                ASSERT_EQ(f.fold_free_vars(support, false), expected_any)
+                    << "n=" << n << " support=" << support;
+            }
+        }
+    }
+}
+
+TEST(TruthTableKernels, ShrinkToExtractsTheZeroSlice) {
+    std::uint64_t s = 4;
+    for (int trial = 0; trial < 200; ++trial) {
+        for (int n = 1; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(n, s);
+            const std::uint32_t all = (1u << n) - 1;
+            for (std::uint32_t support = 0; support <= all; ++support) {
+                std::vector<int> members;
+                for (int v = 0; v < n; ++v) {
+                    if ((support >> v) & 1u) members.push_back(v);
+                }
+                const truth_table shrunk = f.shrink_to(support);
+                ASSERT_EQ(shrunk.num_vars(), static_cast<int>(members.size()));
+                for (std::uint32_t a = 0; a < shrunk.num_minterms(); ++a) {
+                    std::uint32_t m = 0;
+                    for (std::size_t i = 0; i < members.size(); ++i) {
+                        if ((a >> i) & 1u) m |= 1u << members[i];
+                    }
+                    ASSERT_EQ(shrunk.eval(a), f.eval(m))
+                        << "n=" << n << " support=" << support << " a=" << a;
+                }
+            }
+        }
+    }
+}
+
+TEST(TruthTableKernels, ExpandOntoInvertsShrinkTo) {
+    std::uint64_t s = 5;
+    for (int trial = 0; trial < 200; ++trial) {
+        for (int n = 2; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(n, s);
+            const std::uint32_t all = (1u << n) - 1;
+            for (std::uint32_t support = 1; support <= all; ++support) {
+                const truth_table shrunk = f.shrink_to(support);
+                const truth_table back = shrunk.expand_onto(support, n);
+                ASSERT_EQ(back.num_vars(), n);
+                // back must agree with f wherever the free vars are 0, and
+                // must not depend on the free vars at all.
+                ASSERT_EQ(back.shrink_to(support), shrunk);
+                ASSERT_EQ(back.support_mask() & ~support, 0u);
+                // Coverage arithmetic the trigger search relies on: each
+                // support assignment is replicated 2^(free vars) times.
+                ASSERT_EQ(back.count_ones(),
+                          shrunk.count_ones() << std::popcount(all & ~support));
+            }
+        }
+    }
+}
+
+TEST(TruthTableKernels, PermuteMatchesPerMintermModel) {
+    std::uint64_t s = 6;
+    for (int trial = 0; trial < 100; ++trial) {
+        for (int n = 1; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(n, s);
+            std::vector<int> perm(static_cast<std::size_t>(n));
+            for (int v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+            // Fisher-Yates with the test PRNG.
+            for (int v = n - 1; v > 0; --v) {
+                std::swap(perm[static_cast<std::size_t>(v)],
+                          perm[next_state(s) % static_cast<std::uint64_t>(v + 1)]);
+            }
+            const truth_table expected = truth_table::from_function(
+                n, [&](std::uint32_t dst) {
+                    // dst bit perm[v] carries source bit v.
+                    std::uint32_t src = 0;
+                    for (int v = 0; v < n; ++v) {
+                        if ((dst >> perm[static_cast<std::size_t>(v)]) & 1u) {
+                            src |= 1u << v;
+                        }
+                    }
+                    return f.eval(src);
+                });
+            ASSERT_EQ(f.permute(perm), expected) << "n=" << n;
+        }
+    }
+}
+
+TEST(TruthTableKernels, ExpandIsVacuous) {
+    std::uint64_t s = 7;
+    for (int trial = 0; trial < 100; ++trial) {
+        for (int n = 0; n <= k_max_vars; ++n) {
+            const truth_table f = random_table(std::max(n, 1), s);
+            for (int m = f.num_vars(); m <= k_max_vars; ++m) {
+                const truth_table wide = f.expand(m);
+                ASSERT_EQ(wide.num_vars(), m);
+                const std::uint32_t low = f.num_minterms() - 1;
+                for (std::uint32_t i = 0; i < wide.num_minterms(); ++i) {
+                    ASSERT_EQ(wide.eval(i), f.eval(i & low));
+                }
+            }
+        }
+    }
+}
 
 }  // namespace
 }  // namespace plee::bf

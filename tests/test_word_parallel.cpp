@@ -1,0 +1,123 @@
+// Exhaustive equivalence of the word-parallel trigger kernels against the
+// retained scalar reference implementations: every LUT4 master (all 2^16
+// functions) under every candidate support set, for both the exact and the
+// cube-list derivations, plus the coverage counter.  This is the ground
+// truth that lets the hot path stay branch-free word ops.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "bool/cube_list.hpp"
+#include "bool/support.hpp"
+#include "ee/trigger_cache.hpp"
+#include "ee/trigger_search.hpp"
+
+namespace plee::ee {
+namespace {
+
+TEST(WordParallel, ExactTriggerMatchesScalarOnAllLut4Masters) {
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        const bf::truth_table master(4, f);
+        for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+            const bf::truth_table word = exact_trigger_function(master, s);
+            const bf::truth_table ref = scalar::exact_trigger_function(master, s);
+            ASSERT_EQ(word, ref) << "master=" << f << " support=" << s;
+        }
+    }
+}
+
+TEST(WordParallel, CoveredMintermsMatchesScalarOnAllLut4Masters) {
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        const bf::truth_table master(4, f);
+        for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+            const bf::truth_table trig = exact_trigger_function(master, s);
+            ASSERT_EQ(covered_minterms(master, s, trig),
+                      scalar::covered_minterms(master, s, trig))
+                << "master=" << f << " support=" << s;
+        }
+    }
+}
+
+TEST(WordParallel, CubeListTriggerMatchesScalarOnAllLut4Masters) {
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        const bf::truth_table master(4, f);
+        const bf::on_off_cover cover = bf::make_on_off_cover(master);
+        for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+            const bf::truth_table word = cube_list_trigger_function(master, cover, s);
+            const bf::truth_table ref =
+                scalar::cube_list_trigger_function(master, cover, s);
+            ASSERT_EQ(word, ref) << "master=" << f << " support=" << s;
+        }
+    }
+}
+
+TEST(WordParallel, CanonicalCacheMatchesDirectOnAllLut4Masters) {
+    // The P-canonical cache must be transparent for every function, and the
+    // 2^16 functions must collapse to their 3984 permutation classes.
+    trigger_cache cache;
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        const bf::truth_table master(4, f);
+        for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+            const bf::truth_table direct = exact_trigger_function(master, s);
+            const bf::truth_table cached = cache.exact(master, s);
+            ASSERT_EQ(direct, cached) << "master=" << f << " support=" << s;
+        }
+    }
+    EXPECT_EQ(cache.canonicalized_masters(), 65536u);
+    EXPECT_EQ(cache.size(), 3984u * 14u);  // permutation classes x support sets
+    EXPECT_GT(cache.hits(), cache.misses());
+}
+
+TEST(WordParallel, FullSearchMatchesScalarKernels) {
+    // The whole driver — candidate list, coverage, Equation 1, best pick —
+    // must agree between kernel families on a large random master stream.
+    std::uint64_t state = 2026;
+    search_options word_opts;
+    search_options scalar_opts;
+    scalar_opts.use_scalar_kernels = true;
+    for (int trial = 0; trial < 2000; ++trial) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const bf::truth_table master(4, state & 0xffff);
+        if (master.support_size() < 2) continue;
+        const std::vector<int> arrivals = {3, 1, 2, 0};
+        const search_result w = find_best_trigger(master, arrivals, word_opts);
+        const search_result s = find_best_trigger(master, arrivals, scalar_opts);
+        ASSERT_EQ(w.all.size(), s.all.size());
+        for (std::size_t i = 0; i < w.all.size(); ++i) {
+            ASSERT_EQ(w.all[i].support, s.all[i].support);
+            ASSERT_EQ(w.all[i].function, s.all[i].function);
+            ASSERT_EQ(w.all[i].covered_minterms, s.all[i].covered_minterms);
+            ASSERT_EQ(w.all[i].cost, s.all[i].cost);
+        }
+        ASSERT_EQ(w.best.has_value(), s.best.has_value());
+        if (w.best) {
+            ASSERT_EQ(w.best->support, s.best->support);
+            ASSERT_EQ(w.best->function, s.best->function);
+        }
+    }
+}
+
+TEST(WordParallel, FiveAndSixVariableMastersMatchScalar) {
+    // The kernels are generic over the 6-variable space, not just LUT4.
+    std::uint64_t state = 77;
+    for (int trial = 0; trial < 300; ++trial) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        for (int n = 5; n <= 6; ++n) {
+            const std::uint64_t mask =
+                n == 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << n)) - 1);
+            const bf::truth_table master(n, state & mask);
+            const std::uint32_t pins = (1u << n) - 1;
+            for (std::uint32_t s : bf::cached_support_subsets(pins, n - 1)) {
+                const bf::truth_table word = exact_trigger_function(master, s);
+                ASSERT_EQ(word, scalar::exact_trigger_function(master, s))
+                    << "n=" << n << " support=" << s;
+                ASSERT_EQ(covered_minterms(master, s, word),
+                          scalar::covered_minterms(master, s, word));
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace plee::ee
