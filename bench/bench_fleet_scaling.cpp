@@ -1,0 +1,171 @@
+// bench_fleet_scaling — fleet throughput of the sharded runner on synthetic
+// workloads, the ROADMAP's netlist-scale benchmark beyond ITC99 sizes.
+//
+// A batch of generated circuits (all four scenario presets round-robin by
+// default) runs through the full synth -> PL-map -> EE -> simulate pipeline
+// at 1, 2 and hardware_concurrency() worker threads, sharing one concurrent
+// NPN trigger cache per fleet.  Reported per thread level: wall time,
+// netlists/s, trigger-search sweeps/s, and the shared-cache hit rate.  The
+// per-circuit results are bit-identical across the levels (asserted here),
+// so the scaling numbers measure the runner, not noise.
+//
+//   --circuits N   netlists in the fleet                    (default 12)
+//   --gates G      LUTs per netlist                         (default 150)
+//   --scenario S   datapath-like | control-fsm | wide-adder | random-dag |
+//                  mixed                                    (default mixed)
+//   --seed S       generator base seed                      (default 1)
+//   --vectors V    random vectors per measurement           (default 10)
+//   --json PATH    write BENCH_fleet.json for cross-PR perf tracking
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json.hpp"
+#include "report/table.hpp"
+#include "runner/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace plee;
+
+int main(int argc, char** argv) {
+    std::size_t circuits = 12;
+    std::size_t gates = 150;
+    std::string scenario_name = "mixed";
+    std::uint64_t seed = 1;
+    std::size_t vectors = 10;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (std::strcmp(argv[i], "--circuits") == 0) {
+            if (const char* v = next()) circuits = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--gates") == 0) {
+            if (const char* v = next()) gates = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--scenario") == 0) {
+            if (const char* v = next()) scenario_name = v;
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--vectors") == 0) {
+            if (const char* v = next()) vectors = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (const char* v = next()) json_path = v;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--circuits N] [--gates G] [--scenario S] "
+                         "[--seed S] [--vectors V] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    try {
+        std::vector<runner::fleet_job> jobs;
+        for (std::size_t i = 0; i < circuits; ++i) {
+            const wl::scenario kind =
+                scenario_name == "mixed"
+                    ? wl::all_scenarios()[i % wl::all_scenarios().size()]
+                    : wl::scenario_from_string(scenario_name);
+            const wl::workload_params params =
+                wl::scenario_params(kind, gates, seed + i);
+            runner::fleet_job job;
+            job.id = std::string(wl::to_string(kind)) + "/" + std::to_string(i);
+            job.description = job.id;
+            job.netlist = wl::generate(params);
+            jobs.push_back(std::move(job));
+        }
+
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0) hw = 1;
+        // Always record 1 and 2 workers (the 2-thread level checks the
+        // sharded path even on a single core), plus the full machine.
+        std::vector<unsigned> levels = {1, 2};
+        if (hw > 2) levels.push_back(hw);
+
+        std::printf("fleet scaling: %zu circuits x %zu gates (%s), %zu vectors\n\n",
+                    circuits, gates, scenario_name.c_str(), vectors);
+        report::text_table t({"Threads", "Wall (ms)", "Netlists/s", "Sweeps/s",
+                              "Cache Hit Rate", "Speedup"});
+        report::json scaling = report::json::array();
+        double base_wall = 0.0;
+        std::vector<runner::fleet_result> fleets;
+        for (unsigned threads : levels) {
+            runner::fleet_options opts;
+            opts.num_threads = threads;
+            opts.experiment.measure.num_vectors = vectors;
+            runner::fleet_result fleet = runner::run_fleet(jobs, opts);
+            if (threads == 1) base_wall = fleet.wall_ms;
+            t.add_row({std::to_string(fleet.threads),
+                       report::fmt(fleet.wall_ms, 0),
+                       report::fmt(fleet.netlists_per_s(), 2),
+                       report::fmt(fleet.sweeps_per_s(), 0),
+                       report::fmt(100.0 * fleet.cache_hit_rate(), 1) + "%",
+                       report::fmt(fleet.wall_ms > 0.0 ? base_wall / fleet.wall_ms
+                                                       : 0.0,
+                                   2) + "x"});
+            scaling.push(runner::to_json(fleet, /*include_rows=*/false));
+            fleets.push_back(std::move(fleet));
+            std::fflush(stdout);
+        }
+        std::printf("%s\n", t.to_string().c_str());
+
+        // Determinism gate across levels: every circuit's full result — gate
+        // counts, both measured delays, sweep count, and the exact list of
+        // applied triggers (master, trigger, support, function) — must agree
+        // between thread counts.
+        const auto rows_identical = [](const report::experiment_row& a,
+                                       const report::experiment_row& b) {
+            if (a.pl_gates != b.pl_gates || a.ee_gates != b.ee_gates ||
+                a.delay_no_ee != b.delay_no_ee || a.delay_ee != b.delay_ee ||
+                a.ee_detail.triggers_added != b.ee_detail.triggers_added ||
+                a.ee_detail.masters_considered != b.ee_detail.masters_considered ||
+                a.ee_detail.applied.size() != b.ee_detail.applied.size()) {
+                return false;
+            }
+            for (std::size_t k = 0; k < a.ee_detail.applied.size(); ++k) {
+                const ee::applied_trigger& x = a.ee_detail.applied[k];
+                const ee::applied_trigger& y = b.ee_detail.applied[k];
+                if (x.master != y.master || x.trigger != y.trigger ||
+                    x.candidate.support != y.candidate.support ||
+                    x.candidate.function != y.candidate.function) {
+                    return false;
+                }
+            }
+            return true;
+        };
+        for (std::size_t level = 1; level < fleets.size(); ++level) {
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                if (!rows_identical(fleets[0].results[i].row,
+                                    fleets[level].results[i].row)) {
+                    std::fprintf(stderr,
+                                 "DETERMINISM VIOLATION on %s between thread "
+                                 "levels %u and %u\n",
+                                 fleets[0].results[i].id.c_str(),
+                                 fleets[0].threads, fleets[level].threads);
+                    return 1;
+                }
+            }
+        }
+        std::printf("per-circuit results bit-identical across all %zu thread "
+                    "levels.\n",
+                    fleets.size());
+
+        if (!json_path.empty()) {
+            report::json root = report::json::object();
+            root.set("bench", report::json::str("fleet_scaling"));
+            root.set("circuits", report::json::number(circuits));
+            root.set("gates", report::json::number(gates));
+            root.set("scenario", report::json::str(scenario_name));
+            root.set("seed", report::json::number(static_cast<std::int64_t>(seed)));
+            root.set("vectors", report::json::number(vectors));
+            root.set("scaling", std::move(scaling));
+            root.write_file(json_path);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_fleet_scaling: %s\n", e.what());
+        return 1;
+    }
+}

@@ -9,8 +9,17 @@
 // shape comparison (absolute ns differ: our substrate is an event-driven
 // simulator with a nominal delay model, not the authors' qhsim testbed).
 //
+// The suite runs through the sharded fleet runner: circuits are fanned over
+// a worker pool sharing one concurrent NPN trigger cache.  Every reported
+// number is bit-identical to the serial pipeline at any thread count (the
+// runner's determinism contract, enforced in tests/test_runner.cpp); only
+// the wall time changes.
+//
 // Set PLEE_VECTORS to override the number of random vectors (default 100).
-// `--json <path>` additionally writes every row (and the suite averages) as
+// `--threads N` sizes the worker pool (default: one per hardware thread);
+// `--seed S` overrides the stimulus seed (default: the fixed seed every
+// prior PR used, so runs stay reproducible).  `--json <path>` additionally
+// writes every row, the suite averages and the fleet summary as
 // BENCH_itc99.json for cross-PR perf tracking.
 
 #include <cstdio>
@@ -23,6 +32,7 @@
 #include "report/experiment.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
+#include "runner/runner.hpp"
 
 using namespace plee;
 
@@ -54,11 +64,20 @@ constexpr paper_row k_paper[] = {
 
 int main(int argc, char** argv) {
     std::string json_path;
+    unsigned threads = 0;  // 0 = hardware_concurrency
+    sim::measure_options default_measure;
+    std::uint64_t seed = default_measure.seed;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
-            std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] [--threads N] [--seed S]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -72,6 +91,22 @@ int main(int argc, char** argv) {
                 "Synthesis\n(%zu random vectors per circuit; paper reference "
                 "values in brackets)\n\n",
                 vectors);
+    std::fflush(stdout);
+
+    std::vector<runner::fleet_job> jobs;
+    for (const bench::benchmark_info& info : bench::itc99_suite()) {
+        runner::fleet_job job;
+        job.id = info.id;
+        job.description = info.description;
+        job.netlist = info.build();
+        jobs.push_back(std::move(job));
+    }
+
+    runner::fleet_options fleet_opts;
+    fleet_opts.num_threads = threads;
+    fleet_opts.experiment.measure.num_vectors = vectors;
+    fleet_opts.experiment.measure.seed = seed;
+    const runner::fleet_result fleet = runner::run_fleet(jobs, fleet_opts);
 
     report::text_table t({"Description", "PL Gates", "EE Gates", "Avg Delay (ns)",
                           "Avg Delay EE (ns)", "Delay Diff", "% Area Incr.",
@@ -82,16 +117,12 @@ int main(int argc, char** argv) {
     int counted = 0;
     report::json json_rows = report::json::array();
 
-    for (std::size_t i = 0; i < bench::itc99_suite().size(); ++i) {
-        const bench::benchmark_info& info = bench::itc99_suite()[i];
+    for (std::size_t i = 0; i < fleet.results.size(); ++i) {
+        const runner::job_result& result = fleet.results[i];
+        const report::experiment_row& row = result.row;
         const paper_row& ref = k_paper[i];
 
-        report::experiment_options opts;
-        opts.measure.num_vectors = vectors;
-        const report::experiment_row row =
-            report::run_ee_experiment(info.description, info.build(), opts);
-
-        t.add_row({info.id + (" " + info.description),
+        t.add_row({result.id + (" " + row.description),
                    std::to_string(row.pl_gates) + " [" + std::to_string(ref.pl_gates) + "]",
                    std::to_string(row.ee_gates) + " [" + std::to_string(ref.ee_gates) + "]",
                    report::fmt(row.delay_no_ee, 1) + " [" + std::to_string(ref.delay_no_ee) + "]",
@@ -106,26 +137,36 @@ int main(int argc, char** argv) {
         area_sum += row.area_increase_pct;
         ++counted;
 
-        report::json jrow = report::to_json(row);
-        jrow.set("id", report::json::str(info.id));
+        // The suite shares one fleet cache, so per-row cache counters would
+        // be fake zeros — the real totals live in the "fleet" block below.
+        report::json jrow = report::to_json(row, /*include_cache_counters=*/false);
+        jrow.set("id", report::json::str(result.id));
+        jrow.set("wall_ms", report::json::number(result.wall_ms));
         json_rows.push(std::move(jrow));
-        std::fflush(stdout);
     }
 
     std::printf("%s\n", t.to_string().c_str());
     std::printf("Suite averages: %.1f%% delay decrease (paper: >13%%), "
                 "%.1f%% area increase (paper: ~33%%).\n",
                 speedup_sum / counted, area_sum / counted);
+    std::printf("Fleet: %u threads, %.0f ms wall, %.2f netlists/s, %.0f "
+                "sweeps/s, shared trigger cache %.1f%% hit rate (%zu entries).\n",
+                fleet.threads, fleet.wall_ms, fleet.netlists_per_s(),
+                fleet.sweeps_per_s(), 100.0 * fleet.cache_hit_rate(),
+                fleet.cache_entries);
 
     if (!json_path.empty()) {
         report::json root = report::json::object();
         root.set("bench", report::json::str("itc99"));
         root.set("vectors", report::json::number(vectors));
+        root.set("seed", report::json::number(static_cast<std::int64_t>(seed)));
         root.set("rows", std::move(json_rows));
         report::json averages = report::json::object();
         averages.set("delay_decrease_pct", report::json::number(speedup_sum / counted));
         averages.set("area_increase_pct", report::json::number(area_sum / counted));
         root.set("suite_averages", std::move(averages));
+        // The per-row data already lives in "rows" above; embed the summary.
+        root.set("fleet", runner::to_json(fleet, /*include_rows=*/false));
         try {
             root.write_file(json_path);
         } catch (const std::exception& e) {

@@ -1,0 +1,22 @@
+// splitmix64.hpp — the repository's one splitmix64 finalizer.
+//
+// Both the trigger-cache key mixer and the workload generator's random
+// stream rely on this exact constant/shift sequence: cache keys for their
+// collision distribution (asserted in tests/test_trigger_cache.cpp) and the
+// generator for its byte-identical-per-seed determinism contract.  Keep the
+// single definition here so the two can never drift apart.
+
+#pragma once
+
+#include <cstdint>
+
+namespace plee::bf {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace plee::bf

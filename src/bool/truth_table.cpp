@@ -260,6 +260,24 @@ truth_table truth_table::permute(const std::vector<int>& perm) const {
     return t;
 }
 
+truth_table truth_table::negate_inputs(std::uint32_t mask) const {
+    if ((mask >> num_vars_) != 0) {
+        throw std::invalid_argument("truth_table::negate_inputs: mask outside arity");
+    }
+    // g[i] = f[i ^ mask]: for each negated variable, exchange the x_v=0 and
+    // x_v=1 halves of the table.
+    std::uint64_t x = bits_;
+    for (std::uint32_t rest = mask; rest != 0; rest &= rest - 1) {
+        const int v = std::countr_zero(rest);
+        const std::uint64_t m = k_var_mask[v];
+        const int s = 1 << v;
+        x = ((x & m) >> s) | ((x << s) & m);
+    }
+    truth_table t(num_vars_);
+    t.bits_ = x & full_mask();
+    return t;
+}
+
 truth_table truth_table::operator~() const {
     return truth_table(num_vars_, ~bits_ & full_mask());
 }

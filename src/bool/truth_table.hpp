@@ -118,6 +118,12 @@ public:
     /// variable `v`.  `perm` must be a permutation of [0, num_vars).
     truth_table permute(const std::vector<int>& perm) const;
 
+    /// Negates the inputs selected by `mask`: the result g satisfies
+    /// g(x) = f(x ^ mask).  One half-swap per set bit — this is the word
+    /// kernel behind NPN canonicalization.  `mask` must lie within the
+    /// variable range.
+    truth_table negate_inputs(std::uint32_t mask) const;
+
     truth_table operator~() const;
     truth_table operator&(const truth_table& other) const;
     truth_table operator|(const truth_table& other) const;

@@ -1,0 +1,77 @@
+#include "ee/concurrent_cache.hpp"
+
+#include "ee/trigger_search.hpp"
+
+namespace plee::ee {
+
+bf::truth_table concurrent_trigger_cache::exact(const bf::truth_table& master,
+                                                std::uint32_t support) {
+    const int n = master.num_vars();
+
+    // Level 1: one canonicalization per concrete function, fleet-wide.  The
+    // (expensive) canonicalization runs inside the shard lock so concurrent
+    // first-lookups of the same function do the work once; different
+    // functions land on different shards and proceed in parallel.
+    trigger_cache::canonical_form cf;
+    {
+        const fn_key fk{master.bits(), n};
+        fn_shard& shard = fn_shards_[fn_hash{}(fk) % k_num_shards];
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(fk);
+        if (it == shard.map.end()) {
+            it = shard.map
+                     .emplace(fk, mode_ == canon_mode::npn
+                                      ? trigger_cache::npn_canonicalize(master)
+                                      : trigger_cache::canonicalize(master))
+                     .first;
+        }
+        cf = it->second;
+    }
+
+    const std::uint32_t canon_support =
+        trigger_cache::canonical_support(cf, support, n);
+
+    // Level 2: one exact trigger per canonical (class, support) pair.  Every
+    // member of the class — from any circuit, any thread — shards here by
+    // the canonical bits, so the class pays exactly one miss.
+    bf::truth_table canon_trig{0};
+    {
+        const trig_key tk{cf.bits, canon_support, n};
+        trig_shard& shard = trig_shards_[trig_hash{}(tk) % k_num_shards];
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(tk);
+        if (it != shard.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            it = shard.map
+                     .emplace(tk, exact_trigger_function(bf::truth_table(n, cf.bits),
+                                                         canon_support))
+                     .first;
+        }
+        canon_trig = it->second;
+    }
+
+    return trigger_cache::uncanonicalize_trigger(cf, canon_trig, support,
+                                                 canon_support, n);
+}
+
+std::size_t concurrent_trigger_cache::size() const {
+    std::size_t total = 0;
+    for (const trig_shard& s : trig_shards_) {
+        const std::lock_guard<std::mutex> lock(s.mu);
+        total += s.map.size();
+    }
+    return total;
+}
+
+std::size_t concurrent_trigger_cache::canonicalized_masters() const {
+    std::size_t total = 0;
+    for (const fn_shard& s : fn_shards_) {
+        const std::lock_guard<std::mutex> lock(s.mu);
+        total += s.map.size();
+    }
+    return total;
+}
+
+}  // namespace plee::ee

@@ -1,0 +1,99 @@
+// concurrent_cache.hpp — a thread-safe trigger memo shared across circuits.
+//
+// The trigger memo is keyed on canonical function classes, not on netlist
+// context, so one cache can serve every circuit in a fleet: the first
+// circuit that meets a carry majority pays for its canonicalization and
+// triggers, and every later circuit — on any worker thread — gets hits.
+//
+// Two independently sharded levels keep the sharing exact:
+//   1. function level — concrete master bits -> canonical_form, sharded by
+//      the function key.  Each distinct function is canonicalized once
+//      fleet-wide (the expensive step: 768 word permutes for NPN).
+//   2. class level — (canonical bits, canonical support) -> canonical
+//      trigger, sharded by the class key.  Every member function of an NPN
+//      class, from any circuit on any thread, resolves to the same shard
+//      and therefore the same single miss.
+// A single-level design sharded by concrete bits would scatter one class
+// over many shards and silently repay its misses per shard — the two-level
+// split is what makes fleet-wide hit rates match the single-cache ones.
+//
+// Lookups are pure memoization, so sharing the cache never changes any EE
+// result — only who pays each miss.  The splitmix64 key mixer spreads both
+// levels evenly, keeping per-shard lock contention low.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "ee/trigger_cache.hpp"
+
+namespace plee::ee {
+
+class concurrent_trigger_cache : public trigger_memo {
+public:
+    explicit concurrent_trigger_cache(canon_mode mode = canon_mode::npn)
+        : mode_(mode) {}
+
+    /// Thread-safe cached equivalent of exact_trigger_function.
+    bf::truth_table exact(const bf::truth_table& master,
+                          std::uint32_t support) override;
+
+    canon_mode mode() const { return mode_; }
+
+    /// Trigger-level (class-level) counters.  hits + misses == total
+    /// lookups; misses == size() (each miss inserts exactly one canonical
+    /// trigger).
+    std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+    /// Cached canonical (function-class, support) triggers across shards.
+    std::size_t size() const;
+    /// Distinct master functions canonicalized, fleet-wide.
+    std::size_t canonicalized_masters() const;
+
+    static constexpr std::size_t k_num_shards = 64;
+
+private:
+    struct fn_key {
+        std::uint64_t bits;
+        int num_vars;
+        bool operator==(const fn_key&) const = default;
+    };
+    struct fn_hash {
+        std::size_t operator()(const fn_key& k) const {
+            return static_cast<std::size_t>(trigger_cache::mix_key(k.bits, 0, k.num_vars));
+        }
+    };
+    struct trig_key {
+        std::uint64_t bits;
+        std::uint32_t support;
+        int num_vars;
+        bool operator==(const trig_key&) const = default;
+    };
+    struct trig_hash {
+        std::size_t operator()(const trig_key& k) const {
+            return static_cast<std::size_t>(
+                trigger_cache::mix_key(k.bits, k.support, k.num_vars));
+        }
+    };
+
+    struct alignas(64) fn_shard {
+        mutable std::mutex mu;
+        std::unordered_map<fn_key, trigger_cache::canonical_form, fn_hash> map;
+    };
+    struct alignas(64) trig_shard {
+        mutable std::mutex mu;
+        std::unordered_map<trig_key, bf::truth_table, trig_hash> map;
+    };
+
+    canon_mode mode_;
+    std::array<fn_shard, k_num_shards> fn_shards_;
+    std::array<trig_shard, k_num_shards> trig_shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace plee::ee

@@ -22,7 +22,7 @@ struct search_job {
 /// is position-addressed, so any work interleaving yields the same result.
 void search_worker(const pl::pl_netlist& pl, const std::vector<search_job>& jobs,
                    const search_options& search, std::atomic<std::size_t>& next,
-                   trigger_cache& cache,
+                   trigger_memo& cache,
                    std::vector<std::optional<trigger_candidate>>& best) {
     constexpr std::size_t k_chunk = 16;
     for (;;) {
@@ -73,9 +73,11 @@ ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
         std::min<std::size_t>(threads, std::max<std::size_t>(jobs.size(), 1)));
 
     trigger_cache cache;
+    trigger_memo* shared = options.shared_cache;
     if (threads <= 1) {
         std::atomic<std::size_t> next{0};
-        search_worker(pl, jobs, options.search, next, cache, best);
+        search_worker(pl, jobs, options.search, next,
+                      shared != nullptr ? *shared : cache, best);
     } else {
         std::vector<trigger_cache> caches(threads);
         std::vector<std::exception_ptr> errors(threads);
@@ -84,18 +86,24 @@ ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
         pool.reserve(threads - 1);
         // A throw inside any leg (including the main-thread one) must still
         // join the pool and then propagate to the caller, exactly as the
-        // sequential pass would have propagated it.
+        // sequential pass would have propagated it.  With a shared memo all
+        // legs use it directly (it is thread-safe by contract); otherwise
+        // each leg memoizes privately and the caches merge after the join.
+        auto leg_cache = [&](unsigned t) -> trigger_memo& {
+            return shared != nullptr ? *shared
+                                     : static_cast<trigger_memo&>(caches[t]);
+        };
         for (unsigned t = 1; t < threads; ++t) {
             pool.emplace_back([&, t] {
                 try {
-                    search_worker(pl, jobs, options.search, next, caches[t], best);
+                    search_worker(pl, jobs, options.search, next, leg_cache(t), best);
                 } catch (...) {
                     errors[t] = std::current_exception();
                 }
             });
         }
         try {
-            search_worker(pl, jobs, options.search, next, caches[0], best);
+            search_worker(pl, jobs, options.search, next, leg_cache(0), best);
         } catch (...) {
             errors[0] = std::current_exception();
         }
@@ -103,8 +111,12 @@ ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
         for (const std::exception_ptr& e : errors) {
             if (e) std::rethrow_exception(e);
         }
-        for (const trigger_cache& c : caches) cache.merge_from(c);
+        if (shared == nullptr) {
+            for (const trigger_cache& c : caches) cache.merge_from(c);
+        }
     }
+    // With a shared memo the counters belong to its owner (fleet-level); the
+    // pass-local stats deterministically read zero at any thread count.
     stats.cache_hits = cache.hits();
     stats.cache_misses = cache.misses();
     stats.cache_entries = cache.size();

@@ -21,6 +21,8 @@
 
 namespace plee::ee {
 
+class trigger_memo;
+
 struct ee_options {
     search_options search;
     /// Re-verify the marked graph after the transform (throws on failure).
@@ -31,6 +33,13 @@ struct ee_options {
     /// netlist mutation phase stays serial in gate order — so the transform
     /// is bit-identical for every thread count.
     unsigned num_threads = 0;
+    /// An external trigger memo (typically a fleet-shared
+    /// ee::concurrent_trigger_cache) used by every worker thread instead of
+    /// the pass's private per-thread caches.  Must be thread-safe when
+    /// num_threads != 1.  Memoization is pure, so the transform result is
+    /// unchanged; the pass-local cache counters in ee_stats read zero and
+    /// the shared cache's owner carries the fleet-level counters instead.
+    trigger_memo* shared_cache = nullptr;
 };
 
 /// One applied master/trigger pair, for reporting.

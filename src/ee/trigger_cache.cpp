@@ -3,19 +3,22 @@
 #include <algorithm>
 #include <bit>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
+#include "bool/splitmix64.hpp"
 #include "ee/trigger_search.hpp"
 
 namespace plee::ee {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
+using bf::splitmix64;
+
+void record_perm(trigger_cache::canonical_form& form, const std::vector<int>& perm) {
+    for (std::size_t v = 0; v < perm.size(); ++v) {
+        form.perm[v] = static_cast<std::uint8_t>(perm[v]);
+    }
 }
 
 }  // namespace
@@ -33,8 +36,7 @@ trigger_cache::canonical_form trigger_cache::canonicalize(const bf::truth_table&
 
     canonical_form best;
     best.bits = f.bits();
-    for (int v = 0; v < n; ++v) best.perm[static_cast<std::size_t>(v)] =
-        static_cast<std::uint8_t>(v);
+    record_perm(best, perm);
 
     // next_permutation enumerates in ascending lexicographic order, so with
     // a strict < the first permutation reaching the minimum wins the tie.
@@ -42,13 +44,81 @@ trigger_cache::canonical_form trigger_cache::canonicalize(const bf::truth_table&
         const std::uint64_t bits = f.permute(perm).bits();
         if (bits < best.bits) {
             best.bits = bits;
-            for (int v = 0; v < n; ++v) {
-                best.perm[static_cast<std::size_t>(v)] =
-                    static_cast<std::uint8_t>(perm[static_cast<std::size_t>(v)]);
-            }
+            record_perm(best, perm);
         }
     }
     return best;
+}
+
+trigger_cache::canonical_form trigger_cache::npn_canonicalize(
+    const bf::truth_table& f) {
+    const int n = f.num_vars();
+    std::vector<int> perm(static_cast<std::size_t>(n));
+
+    canonical_form best;
+    best.bits = f.bits();
+    std::iota(perm.begin(), perm.end(), 0);
+    record_perm(best, perm);
+
+    // Output complement commutes with input permutation, so each (phase,
+    // input-negation) pair needs one negate_inputs and at most one
+    // complement before the n! permutation sweep.
+    for (int out = 0; out < 2; ++out) {
+        for (std::uint32_t neg = 0; neg < (1u << n); ++neg) {
+            bf::truth_table h = f.negate_inputs(neg);
+            if (out != 0) h = ~h;
+            std::iota(perm.begin(), perm.end(), 0);
+            do {
+                const std::uint64_t bits = h.permute(perm).bits();
+                if (bits < best.bits) {
+                    best.bits = bits;
+                    best.input_neg = neg;
+                    best.output_neg = out != 0;
+                    record_perm(best, perm);
+                }
+            } while (std::next_permutation(perm.begin(), perm.end()));
+        }
+    }
+    return best;
+}
+
+std::uint32_t trigger_cache::canonical_support(const canonical_form& form,
+                                               std::uint32_t support, int num_vars) {
+    std::uint32_t canon_support = 0;
+    for (int v = 0; v < num_vars; ++v) {
+        if ((support >> v) & 1u) {
+            canon_support |= 1u << form.perm[static_cast<std::size_t>(v)];
+        }
+    }
+    return canon_support;
+}
+
+bf::truth_table trigger_cache::uncanonicalize_trigger(
+    const canonical_form& form, const bf::truth_table& canon_trigger,
+    std::uint32_t support, std::uint32_t canon_support, int num_vars) {
+    // Un-permute: the caller's trigger variable i is the i-th (ascending)
+    // member of `support`; under form.perm it lands at canonical position
+    // form.perm[member], whose rank within canon_support is the canonical
+    // trigger variable carrying its role.  permute() wants the map from old
+    // (canonical) variables to new (caller) variables, i.e. the inverse.
+    std::vector<int> canon_to_caller(
+        static_cast<std::size_t>(canon_trigger.num_vars()));
+    std::uint32_t compressed_neg = 0;
+    int i = 0;
+    for (int v = 0; v < num_vars; ++v) {
+        if (!((support >> v) & 1u)) continue;
+        const std::uint32_t canon_pos = form.perm[static_cast<std::size_t>(v)];
+        const int rank = std::popcount(canon_support & ((1u << canon_pos) - 1));
+        canon_to_caller[static_cast<std::size_t>(rank)] = i;
+        if ((form.input_neg >> v) & 1u) compressed_neg |= 1u << i;
+        ++i;
+    }
+    bf::truth_table trig = canon_trigger.permute(canon_to_caller);
+    // The canonical trigger belongs to the input-negated function; the exact
+    // trigger is invariant under output complement but reflects along every
+    // negated input axis: trig_f(u) = trig_canon(u ^ neg_S).
+    if (compressed_neg != 0) trig = trig.negate_inputs(compressed_neg);
+    return trig;
 }
 
 bf::truth_table trigger_cache::exact(const bf::truth_table& master,
@@ -58,14 +128,14 @@ bf::truth_table trigger_cache::exact(const bf::truth_table& master,
     const key ck{master.bits(), 0, n};
     auto cit = canon_memo_.find(ck);
     if (cit == canon_memo_.end()) {
-        cit = canon_memo_.emplace(ck, canonicalize(master)).first;
+        cit = canon_memo_
+                  .emplace(ck, mode_ == canon_mode::npn ? npn_canonicalize(master)
+                                                        : canonicalize(master))
+                  .first;
     }
     const canonical_form& cf = cit->second;
 
-    std::uint32_t canon_support = 0;
-    for (int v = 0; v < n; ++v) {
-        if ((support >> v) & 1u) canon_support |= 1u << cf.perm[static_cast<std::size_t>(v)];
-    }
+    const std::uint32_t canon_support = canonical_support(cf, support, n);
 
     const key tk{cf.bits, canon_support, n};
     auto it = memo_.find(tk);
@@ -77,26 +147,14 @@ bf::truth_table trigger_cache::exact(const bf::truth_table& master,
                                                       canon_support))
                  .first;
     }
-    const bf::truth_table& canon_trig = it->second;
-
-    // Un-permute: the caller's trigger variable i is the i-th (ascending)
-    // member of `support`; under cf.perm it lands at canonical position
-    // cf.perm[member], whose rank within canon_support is the canonical
-    // trigger variable carrying its role.  permute() wants the map from old
-    // (canonical) variables to new (caller) variables, i.e. the inverse.
-    std::vector<int> canon_to_caller(static_cast<std::size_t>(canon_trig.num_vars()));
-    int i = 0;
-    for (int v = 0; v < n; ++v) {
-        if (!((support >> v) & 1u)) continue;
-        const std::uint32_t canon_pos = cf.perm[static_cast<std::size_t>(v)];
-        const int rank = std::popcount(canon_support & ((1u << canon_pos) - 1));
-        canon_to_caller[static_cast<std::size_t>(rank)] = i;
-        ++i;
-    }
-    return canon_trig.permute(canon_to_caller);
+    return uncanonicalize_trigger(cf, it->second, support, canon_support, n);
 }
 
 void trigger_cache::merge_from(const trigger_cache& other) {
+    if (other.mode_ != mode_) {
+        throw std::logic_error(
+            "trigger_cache::merge_from: canonicalization mode mismatch");
+    }
     for (const auto& [k, v] : other.memo_) memo_.emplace(k, v);
     for (const auto& [k, v] : other.canon_memo_) canon_memo_.emplace(k, v);
     hits_ += other.hits_;

@@ -1,4 +1,4 @@
-// trigger_cache.hpp — P-canonical memoization of exact trigger functions.
+// trigger_cache.hpp — NPN-canonical memoization of exact trigger functions.
 //
 // The trigger of a support set depends only on the master's truth table and
 // the support mask — not on the netlist context — and a LUT4 master has only
@@ -7,14 +7,22 @@
 // 14-support-set sweep into table lookups after the first occurrence of each
 // function.
 //
-// The memo keys on the *P-canonical* (input-permutation-canonical) form of
-// the master: permuting a master's inputs permutes its triggers the same
-// way, so the 2^16 LUT4 functions collapse to their 3984 permutation
-// classes.  A lookup canonicalizes the master (memoized per function),
-// relabels the support through the canonicalizing permutation, fetches or
-// computes the canonical trigger, and un-permutes it back to the caller's
-// pin order.  bench_micro quantifies the effect; cached and uncached
-// searches are cross-checked bit-for-bit in the tests.
+// The memo keys on a canonical form of the master.  Two levels are
+// supported:
+//   * P  — input-permutation canonical: permuting a master's inputs permutes
+//     its triggers the same way, so the 2^16 LUT4 functions collapse to
+//     their 3984 permutation classes.
+//   * NPN (default) — input/output negation on top of permutation.  The
+//     exact trigger is invariant under output complement (a constant
+//     cofactor stays constant), and negating input v merely reflects the
+//     trigger along that axis: trig_{f(x^a)}(u) = trig_f(u ^ a_S).  The
+//     LUT4 space therefore collapses to its 222 NPN classes and every
+//     lookup maps back through the stored permutation and negation masks.
+// A lookup canonicalizes the master (memoized per function), relabels the
+// support through the canonicalizing permutation, fetches or computes the
+// canonical trigger, un-permutes it to the caller's pin order and finally
+// un-reflects the negated support pins.  NPN and P caches are cross-checked
+// bit-for-bit over the full LUT4 space in the tests.
 
 #pragma once
 
@@ -26,13 +34,35 @@
 
 namespace plee::ee {
 
-class trigger_cache {
+/// Pure interface for exact-trigger memoization, so the search can run
+/// against a plain per-thread cache or a shared concurrent one.
+class trigger_memo {
 public:
+    virtual ~trigger_memo() = default;
+    /// Must return exactly exact_trigger_function(master, support).
+    virtual bf::truth_table exact(const bf::truth_table& master,
+                                  std::uint32_t support) = 0;
+};
+
+/// Canonicalization level of a trigger_cache.
+enum class canon_mode : std::uint8_t {
+    p,    ///< input permutations only (3984 LUT4 classes)
+    npn,  ///< permutations + input/output negation (222 LUT4 classes)
+};
+
+class trigger_cache : public trigger_memo {
+public:
+    explicit trigger_cache(canon_mode mode = canon_mode::npn) : mode_(mode) {}
+
     /// Cached equivalent of exact_trigger_function(master, support).
-    bf::truth_table exact(const bf::truth_table& master, std::uint32_t support);
+    bf::truth_table exact(const bf::truth_table& master,
+                          std::uint32_t support) override;
+
+    canon_mode mode() const { return mode_; }
 
     /// Absorbs another cache's entries and counters — the parallel EE pass
-    /// merges its per-thread caches through this after joining.
+    /// merges its per-thread caches through this after joining.  Both caches
+    /// must use the same canonicalization mode.
     void merge_from(const trigger_cache& other);
 
     std::uint64_t hits() const { return hits_; }
@@ -42,20 +72,47 @@ public:
     /// Number of distinct master functions canonicalized so far.
     std::size_t canonicalized_masters() const { return canon_memo_.size(); }
 
-    /// A P-canonical form: the minimal truth-table bits over all input
-    /// permutations of the function, plus one permutation achieving it
-    /// (perm[v] is the canonical position of original variable v).
+    /// A canonical form: the minimal truth-table bits over the orbit of the
+    /// function, plus one transform achieving it.  The transform is applied
+    /// input-negation first, permutation second, output negation last:
+    ///   canon(y) = output_neg XOR f(P^-1(y) ^ input_neg)
+    /// where perm[v] is the canonical position of original variable v.  The
+    /// P-canonical form leaves input_neg == 0 and output_neg == false.
     struct canonical_form {
         std::uint64_t bits = 0;
         std::array<std::uint8_t, bf::k_max_vars> perm{};
+        std::uint32_t input_neg = 0;
+        bool output_neg = false;
     };
-    /// Exhaustive n!-enumeration canonicalization (n <= 6; 24 word-level
+    /// Exhaustive n!-enumeration P-canonicalization (n <= 6; 24 word-level
     /// permutes for a LUT4).  Deterministic: ties broken by the
     /// lexicographically smallest permutation.
     static canonical_form canonicalize(const bf::truth_table& f);
 
+    /// Exhaustive NPN canonicalization: 2 output phases x 2^n input phases
+    /// x n! permutations (768 variants for a LUT4), all word-level.
+    /// Deterministic: minimal bits win, ties broken by the enumeration
+    /// order (output phase, then input phase, then permutation).
+    static canonical_form npn_canonicalize(const bf::truth_table& f);
+
+    /// Where `support` lands under the canonicalizing permutation.
+    static std::uint32_t canonical_support(const canonical_form& form,
+                                           std::uint32_t support, int num_vars);
+
+    /// Maps the canonical trigger (over canonical_support) back to the
+    /// caller's pin order and polarity: un-permutes through `form.perm` and
+    /// reflects every negated support axis (trig_f(u) = trig_canon(u ^
+    /// neg_S); output polarity never matters for exact triggers).  Shared by
+    /// this class and the concurrent fleet cache.
+    static bf::truth_table uncanonicalize_trigger(const canonical_form& form,
+                                                  const bf::truth_table& canon_trigger,
+                                                  std::uint32_t support,
+                                                  std::uint32_t canon_support,
+                                                  int num_vars);
+
     /// The 64-bit key mixer (splitmix64 finalization over all key fields),
-    /// exposed so the tests can assert its collision distribution.
+    /// exposed so the tests can assert its collision distribution and the
+    /// concurrent cache can shard on it.
     static std::uint64_t mix_key(std::uint64_t bits, std::uint32_t support,
                                  int num_vars);
 
@@ -72,6 +129,7 @@ private:
         }
     };
 
+    canon_mode mode_;
     /// Canonical triggers, keyed on (canonical master bits, canonical
     /// support).
     std::unordered_map<key, bf::truth_table, key_hash> memo_;

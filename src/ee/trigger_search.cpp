@@ -172,7 +172,7 @@ double equation1_cost(double coverage_percent, int master_max_arrival,
 search_result find_best_trigger(const bf::truth_table& master,
                                 const std::vector<int>& pin_arrivals,
                                 const search_options& options,
-                                trigger_cache* cache) {
+                                trigger_memo* cache) {
     if (static_cast<int>(pin_arrivals.size()) != master.num_vars()) {
         throw std::invalid_argument("find_best_trigger: arrival count != arity");
     }

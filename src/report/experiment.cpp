@@ -37,7 +37,7 @@ experiment_row run_ee_experiment(const std::string& description,
     return row;
 }
 
-json to_json(const experiment_row& row) {
+json to_json(const experiment_row& row, bool include_cache_counters) {
     json j = json::object();
     j.set("description", json::str(row.description));
     j.set("pl_gates", json::number(row.pl_gates));
@@ -49,10 +49,12 @@ json to_json(const experiment_row& row) {
     j.set("delay_decrease_pct", json::number(row.delay_decrease_pct));
     j.set("triggers_added", json::number(row.ee_detail.triggers_added));
     j.set("masters_considered", json::number(row.ee_detail.masters_considered));
-    j.set("trigger_cache_hits", json::number(static_cast<std::int64_t>(
-                                    row.ee_detail.cache_hits)));
-    j.set("trigger_cache_misses", json::number(static_cast<std::int64_t>(
-                                      row.ee_detail.cache_misses)));
+    if (include_cache_counters) {
+        j.set("trigger_cache_hits", json::number(static_cast<std::int64_t>(
+                                        row.ee_detail.cache_hits)));
+        j.set("trigger_cache_misses", json::number(static_cast<std::int64_t>(
+                                          row.ee_detail.cache_misses)));
+    }
     return j;
 }
 

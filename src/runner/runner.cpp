@@ -1,0 +1,141 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "report/json.hpp"
+
+namespace plee::runner {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Pulls job indices from the shared counter and runs the full pipeline on
+/// each.  Results are slot-addressed by job index, so any interleaving
+/// produces the same fleet_result.
+void fleet_worker(const std::vector<fleet_job>& jobs,
+                  const report::experiment_options& experiment,
+                  std::atomic<std::size_t>& next,
+                  std::vector<job_result>& results,
+                  std::vector<std::exception_ptr>& errors) {
+    for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            results[i].id = jobs[i].id;
+            results[i].row = report::run_ee_experiment(jobs[i].description,
+                                                       jobs[i].netlist, experiment);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+        results[i].wall_ms = ms_between(start, std::chrono::steady_clock::now());
+    }
+}
+
+}  // namespace
+
+fleet_result run_fleet(const std::vector<fleet_job>& jobs,
+                       const fleet_options& options) {
+    fleet_result fleet;
+    unsigned threads = options.num_threads != 0 ? options.num_threads
+                                                : std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, std::max<std::size_t>(jobs.size(), 1)));
+    fleet.threads = threads;
+    fleet.shared_cache = options.share_trigger_cache;
+    fleet.results.resize(jobs.size());
+    if (jobs.empty()) return fleet;
+
+    ee::concurrent_trigger_cache shared_cache;
+    report::experiment_options experiment = options.experiment;
+    experiment.ee.num_threads = std::max(options.ee_threads_per_job, 1u);
+    experiment.ee.shared_cache =
+        options.share_trigger_cache ? &shared_cache : nullptr;
+
+    std::vector<std::exception_ptr> errors(jobs.size());
+    std::atomic<std::size_t> next{0};
+    const auto start = std::chrono::steady_clock::now();
+    if (threads <= 1) {
+        fleet_worker(jobs, experiment, next, fleet.results, errors);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads - 1);
+        for (unsigned t = 1; t < threads; ++t) {
+            pool.emplace_back([&] {
+                fleet_worker(jobs, experiment, next, fleet.results, errors);
+            });
+        }
+        fleet_worker(jobs, experiment, next, fleet.results, errors);
+        for (std::thread& t : pool) t.join();
+    }
+    fleet.wall_ms = ms_between(start, std::chrono::steady_clock::now());
+
+    for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+
+    for (const job_result& r : fleet.results) {
+        fleet.total_pl_gates += r.row.pl_gates;
+        fleet.total_ee_gates += r.row.ee_gates;
+        fleet.total_triggers += r.row.ee_detail.triggers_added;
+        fleet.total_sweeps += r.row.ee_detail.masters_considered;
+        fleet.total_sim_events +=
+            r.row.stats_no_ee.events + r.row.stats_ee.events;
+        fleet.cache_hits += r.row.ee_detail.cache_hits;
+        fleet.cache_misses += r.row.ee_detail.cache_misses;
+        fleet.cache_entries += r.row.ee_detail.cache_entries;
+    }
+    if (options.share_trigger_cache) {
+        // Per-job counters read zero under a shared memo; the fleet totals
+        // live in the concurrent cache.
+        fleet.cache_hits = shared_cache.hits();
+        fleet.cache_misses = shared_cache.misses();
+        fleet.cache_entries = shared_cache.size();
+    }
+    return fleet;
+}
+
+report::json to_json(const fleet_result& fleet, bool include_rows) {
+    report::json j = report::json::object();
+    j.set("threads", report::json::number(static_cast<std::int64_t>(fleet.threads)));
+    j.set("shared_cache", report::json::boolean(fleet.shared_cache));
+    j.set("netlists", report::json::number(fleet.results.size()));
+    j.set("wall_ms", report::json::number(fleet.wall_ms));
+    j.set("netlists_per_s", report::json::number(fleet.netlists_per_s()));
+    j.set("sweeps_per_s", report::json::number(fleet.sweeps_per_s()));
+    j.set("total_pl_gates", report::json::number(fleet.total_pl_gates));
+    j.set("total_ee_gates", report::json::number(fleet.total_ee_gates));
+    j.set("total_triggers", report::json::number(fleet.total_triggers));
+    j.set("total_sweeps", report::json::number(fleet.total_sweeps));
+    j.set("total_sim_events", report::json::number(
+                                  static_cast<std::int64_t>(fleet.total_sim_events)));
+    j.set("cache_hits", report::json::number(static_cast<std::int64_t>(fleet.cache_hits)));
+    j.set("cache_misses",
+          report::json::number(static_cast<std::int64_t>(fleet.cache_misses)));
+    j.set("cache_entries", report::json::number(fleet.cache_entries));
+    j.set("cache_hit_rate", report::json::number(fleet.cache_hit_rate()));
+    if (include_rows) {
+        report::json rows = report::json::array();
+        for (const job_result& r : fleet.results) {
+            // Per-row cache counters are only meaningful without the shared
+            // memo; the fleet-level counters above are authoritative.
+            report::json row = report::to_json(r.row, !fleet.shared_cache);
+            row.set("id", report::json::str(r.id));
+            row.set("wall_ms", report::json::number(r.wall_ms));
+            rows.push(std::move(row));
+        }
+        j.set("rows", std::move(rows));
+    }
+    return j;
+}
+
+}  // namespace plee::runner

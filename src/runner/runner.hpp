@@ -1,0 +1,107 @@
+// runner.hpp — the sharded multi-netlist experiment runner.
+//
+// The Table 3 driver ran its 15 circuits one after another; the fleet
+// runner generalizes that into the repository's scaling seam: a batch of
+// netlists (ITC99 reproductions, synthetic workloads, imported BLIF — any
+// nl::netlist) is fanned across a worker pool, each worker running the full
+// synth -> PL-map -> EE-transform -> simulate pipeline on its shard, with
+// one concurrent NPN-canonical trigger cache shared by every circuit.  The
+// cache is keyed on function classes, not netlist context, so every
+// circuit's lookups warm the memo for all the others.
+//
+// Determinism contract: per-circuit results are written to slots addressed
+// by job index and each pipeline run is pure given its options, so the
+// fleet result — including every experiment row — is bit-identical for any
+// thread count and any work interleaving.  Only the wall-clock figures and
+// (with a shared cache) which circuit pays each canonical miss vary.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ee/concurrent_cache.hpp"
+#include "netlist/netlist.hpp"
+#include "report/experiment.hpp"
+
+namespace plee::runner {
+
+/// One circuit to push through the pipeline.
+struct fleet_job {
+    std::string id;           ///< short label ("b05", "datapath-like/3", ...)
+    std::string description;  ///< free-form, lands in the experiment row
+    nl::netlist netlist;
+};
+
+struct fleet_options {
+    /// Worker threads sharding the job list.  0 = one per hardware thread.
+    unsigned num_threads = 0;
+    /// Per-circuit pipeline knobs (mapping, EE search, measurement).  The
+    /// runner owns ee.shared_cache and ee.num_threads; values set there are
+    /// overridden per job.
+    report::experiment_options experiment{};
+    /// Share one concurrent NPN trigger cache across all jobs (the fleet's
+    /// raison d'être).  Off = every job keeps the private per-pass caches,
+    /// reproducing the standalone pipeline exactly, counters included.
+    bool share_trigger_cache = true;
+    /// Inner EE-search threads per job.  The outer job shards already
+    /// saturate the machine, so the default keeps each pass sequential.
+    unsigned ee_threads_per_job = 1;
+};
+
+struct job_result {
+    std::string id;
+    report::experiment_row row;
+    double wall_ms = 0.0;  ///< this job's pipeline wall time
+};
+
+struct fleet_result {
+    std::vector<job_result> results;  ///< in job submission order
+    unsigned threads = 1;
+    bool shared_cache = true;  ///< whether one fleet-wide trigger memo ran
+    double wall_ms = 0.0;      ///< whole-fleet wall time
+
+    // Aggregates over all jobs.
+    std::size_t total_pl_gates = 0;
+    std::size_t total_ee_gates = 0;
+    std::size_t total_triggers = 0;
+    /// Trigger-search sweeps = masters considered (one full support sweep
+    /// each) summed over the fleet — the engine-throughput unit.
+    std::size_t total_sweeps = 0;
+    std::uint64_t total_sim_events = 0;
+    /// Trigger-cache counters: the shared concurrent cache's totals when
+    /// sharing, the summed per-job counters otherwise.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::size_t cache_entries = 0;
+
+    double cache_hit_rate() const {
+        const std::uint64_t total = cache_hits + cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(total);
+    }
+    double netlists_per_s() const {
+        return wall_ms <= 0.0 ? 0.0
+                              : 1000.0 * static_cast<double>(results.size()) /
+                                    wall_ms;
+    }
+    double sweeps_per_s() const {
+        return wall_ms <= 0.0 ? 0.0
+                              : 1000.0 * static_cast<double>(total_sweeps) /
+                                    wall_ms;
+    }
+};
+
+/// Runs every job through the pipeline across the worker pool.  Propagates
+/// the first job exception after all workers join.
+fleet_result run_fleet(const std::vector<fleet_job>& jobs,
+                       const fleet_options& options = {});
+
+/// Fleet-level summary + per-job rows as a JSON object (the schema of
+/// BENCH_fleet.json).  `include_rows = false` emits the summary only, for
+/// embedding next to an existing row dump.
+report::json to_json(const fleet_result& fleet, bool include_rows = true);
+
+}  // namespace plee::runner

@@ -1,0 +1,166 @@
+// Tests for the sharded fleet runner: bit-identical results against the
+// serial single-circuit pipeline on b05/b07/b10 at several thread counts
+// (with and without the shared trigger cache), aggregate accounting,
+// cross-circuit cache reuse, and error propagation.
+
+#include "runner/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_circuits/itc99.hpp"
+#include "report/json.hpp"
+#include "workload/workload.hpp"
+
+namespace plee::runner {
+namespace {
+
+report::experiment_options fast_options() {
+    report::experiment_options opts;
+    opts.measure.num_vectors = 25;
+    return opts;
+}
+
+/// Every field that the pipeline determines (as opposed to measures in
+/// wall-clock time) must agree exactly — delays included, since the
+/// simulator is deterministic given the stimulus seed.
+void expect_rows_identical(const report::experiment_row& a,
+                           const report::experiment_row& b,
+                           const std::string& label) {
+    EXPECT_EQ(a.pl_gates, b.pl_gates) << label;
+    EXPECT_EQ(a.ee_gates, b.ee_gates) << label;
+    EXPECT_EQ(a.delay_no_ee, b.delay_no_ee) << label;
+    EXPECT_EQ(a.delay_ee, b.delay_ee) << label;
+    EXPECT_EQ(a.ee_detail.triggers_added, b.ee_detail.triggers_added) << label;
+    ASSERT_EQ(a.ee_detail.applied.size(), b.ee_detail.applied.size()) << label;
+    for (std::size_t i = 0; i < a.ee_detail.applied.size(); ++i) {
+        const ee::applied_trigger& x = a.ee_detail.applied[i];
+        const ee::applied_trigger& y = b.ee_detail.applied[i];
+        EXPECT_EQ(x.master, y.master) << label;
+        EXPECT_EQ(x.trigger, y.trigger) << label;
+        EXPECT_EQ(x.candidate.support, y.candidate.support) << label;
+        EXPECT_EQ(x.candidate.function, y.candidate.function) << label;
+    }
+}
+
+TEST(FleetRunner, BitIdenticalToSerialPipelineAtAnyThreadCount) {
+    const std::vector<std::string> ids = {"b05", "b07", "b10"};
+    std::vector<fleet_job> jobs;
+    std::vector<report::experiment_row> serial;
+    for (const std::string& id : ids) {
+        fleet_job job;
+        job.id = id;
+        job.description = id;
+        job.netlist = bench::build_benchmark(id);
+        serial.push_back(
+            report::run_ee_experiment(id, job.netlist, fast_options()));
+        jobs.push_back(std::move(job));
+    }
+
+    for (unsigned threads : {1u, 2u, 5u}) {
+        for (bool share : {true, false}) {
+            fleet_options opts;
+            opts.num_threads = threads;
+            opts.share_trigger_cache = share;
+            opts.experiment = fast_options();
+            const fleet_result fleet = run_fleet(jobs, opts);
+            ASSERT_EQ(fleet.results.size(), ids.size());
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                EXPECT_EQ(fleet.results[i].id, ids[i]);
+                expect_rows_identical(
+                    fleet.results[i].row, serial[i],
+                    ids[i] + " threads=" + std::to_string(threads) +
+                        " share=" + std::to_string(share));
+            }
+        }
+    }
+}
+
+TEST(FleetRunner, AggregatesMatchTheRows) {
+    std::vector<fleet_job> jobs;
+    for (int i = 0; i < 3; ++i) {
+        fleet_job job;
+        job.id = "w" + std::to_string(i);
+        job.description = job.id;
+        job.netlist = wl::generate(wl::scenario_params(
+            wl::scenario::random_dag, 50, 100 + static_cast<std::uint64_t>(i)));
+        jobs.push_back(std::move(job));
+    }
+    fleet_options opts;
+    opts.num_threads = 2;
+    opts.experiment.measure.num_vectors = 5;
+    const fleet_result fleet = run_fleet(jobs, opts);
+
+    std::size_t pl = 0, ee = 0, sweeps = 0;
+    for (const job_result& r : fleet.results) {
+        pl += r.row.pl_gates;
+        ee += r.row.ee_gates;
+        sweeps += r.row.ee_detail.masters_considered;
+        EXPECT_GE(r.wall_ms, 0.0);
+    }
+    EXPECT_EQ(fleet.total_pl_gates, pl);
+    EXPECT_EQ(fleet.total_ee_gates, ee);
+    EXPECT_EQ(fleet.total_sweeps, sweeps);
+    EXPECT_EQ(fleet.threads, 2u);
+    EXPECT_GT(fleet.wall_ms, 0.0);
+    EXPECT_GT(fleet.netlists_per_s(), 0.0);
+    EXPECT_GT(fleet.sweeps_per_s(), 0.0);
+    EXPECT_GE(fleet.cache_hit_rate(), 0.0);
+    EXPECT_LE(fleet.cache_hit_rate(), 1.0);
+    // Shared-cache mode reports the fleet-level counters, and something was
+    // actually memoized.
+    EXPECT_GT(fleet.cache_hits + fleet.cache_misses, 0u);
+
+    const report::json j = to_json(fleet);
+    const std::string dump = j.dump();
+    EXPECT_NE(dump.find("\"netlists_per_s\""), std::string::npos);
+    EXPECT_NE(dump.find("\"cache_hit_rate\""), std::string::npos);
+    EXPECT_NE(dump.find("\"rows\""), std::string::npos);
+}
+
+TEST(FleetRunner, SharedCacheServesEveryCircuitFromOneMemo) {
+    // Two copies of the same circuit: with the shared cache the second copy
+    // must add zero misses — every class was canonicalized and solved once.
+    fleet_job job;
+    job.id = "w";
+    job.description = "w";
+    job.netlist =
+        wl::generate(wl::scenario_params(wl::scenario::datapath_like, 80, 21));
+
+    fleet_options opts;
+    opts.num_threads = 1;
+    opts.experiment.measure.num_vectors = 2;
+    const fleet_result one = run_fleet({job}, opts);
+
+    const fleet_result two = run_fleet({job, job}, opts);
+    EXPECT_EQ(two.cache_misses, one.cache_misses);
+    EXPECT_GT(two.cache_hits, one.cache_hits);
+
+    // Without sharing, both copies pay their own misses.
+    opts.share_trigger_cache = false;
+    const fleet_result isolated = run_fleet({job, job}, opts);
+    EXPECT_EQ(isolated.cache_misses, 2 * one.cache_misses);
+}
+
+TEST(FleetRunner, PropagatesJobFailures) {
+    fleet_job good;
+    good.id = "ok";
+    good.description = "ok";
+    good.netlist = wl::generate(wl::scenario_params(wl::scenario::random_dag, 20, 1));
+    fleet_job bad;
+    bad.id = "bad";
+    bad.description = "dangling dff";
+    bad.netlist.add_input("a");
+    bad.netlist.add_dff(nl::k_invalid_cell, false);  // never connected
+    EXPECT_THROW(run_fleet({good, bad}, fleet_options{}), std::exception);
+}
+
+TEST(FleetRunner, EmptyFleetIsANoop) {
+    const fleet_result fleet = run_fleet({}, fleet_options{});
+    EXPECT_TRUE(fleet.results.empty());
+    EXPECT_EQ(fleet.netlists_per_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace plee::runner

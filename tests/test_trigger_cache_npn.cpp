@@ -1,0 +1,173 @@
+// Tests for the NPN extension of the canonical trigger cache: the
+// negate_inputs word kernel, NPN invariance of the canonical form, the
+// class-count collapse (2^16 LUT4 functions -> 3984 P classes -> 222 NPN
+// classes), the full-space cross-check of the NPN cache against the P-only
+// cache, and the thread-safety of the shared concurrent cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bool/support.hpp"
+#include "ee/concurrent_cache.hpp"
+#include "ee/trigger_cache.hpp"
+#include "ee/trigger_search.hpp"
+
+namespace plee::ee {
+namespace {
+
+std::uint64_t lcg(std::uint64_t& state) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state;
+}
+
+TEST(NegateInputs, MatchesPerMintermDefinition) {
+    std::uint64_t state = 5;
+    for (int trial = 0; trial < 200; ++trial) {
+        const int n = 1 + static_cast<int>(lcg(state) % 6);
+        const std::uint64_t full =
+            n == 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << n)) - 1);
+        const bf::truth_table f(n, lcg(state) & full);
+        const std::uint32_t mask =
+            static_cast<std::uint32_t>(lcg(state)) & ((1u << n) - 1);
+        const bf::truth_table g = f.negate_inputs(mask);
+        for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+            ASSERT_EQ(g.eval(m), f.eval(m ^ mask));
+        }
+    }
+    EXPECT_THROW(bf::truth_table(2, 0x6).negate_inputs(0x4), std::invalid_argument);
+}
+
+TEST(NpnCanonicalize, InvariantUnderNpnTransforms) {
+    // Applying any permutation, input negation and output complement to a
+    // function must not change its NPN-canonical bits, and the recorded
+    // transform must reproduce them.
+    std::uint64_t state = 17;
+    for (int trial = 0; trial < 40; ++trial) {
+        const bf::truth_table f(4, lcg(state) & 0xffff);
+        const trigger_cache::canonical_form canon = trigger_cache::npn_canonicalize(f);
+
+        // The witness transform: input negation, then permutation, then
+        // output complement, lands exactly on the canonical bits.
+        std::vector<int> witness(4);
+        for (int v = 0; v < 4; ++v) witness[static_cast<std::size_t>(v)] = canon.perm[v];
+        bf::truth_table w = f.negate_inputs(canon.input_neg).permute(witness);
+        if (canon.output_neg) w = ~w;
+        ASSERT_EQ(w.bits(), canon.bits);
+
+        for (int variant = 0; variant < 20; ++variant) {
+            std::vector<int> perm = {0, 1, 2, 3};
+            for (int i = 3; i > 0; --i) {
+                std::swap(perm[static_cast<std::size_t>(i)],
+                          perm[lcg(state) % static_cast<std::uint64_t>(i + 1)]);
+            }
+            const std::uint32_t neg = static_cast<std::uint32_t>(lcg(state)) & 0xf;
+            bf::truth_table g = f.negate_inputs(neg).permute(perm);
+            if (lcg(state) & 1u) g = ~g;
+            ASSERT_EQ(trigger_cache::npn_canonicalize(g).bits, canon.bits);
+        }
+    }
+}
+
+TEST(NpnCanonicalize, ClassCountsOverTheFullLut4Space) {
+    // The counts the whole scheme rests on: 2^16 functions collapse to 3984
+    // permutation classes and 222 NPN classes.
+    std::set<std::uint64_t> p_classes;
+    std::set<std::uint64_t> npn_classes;
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        const bf::truth_table t(4, f);
+        p_classes.insert(trigger_cache::canonicalize(t).bits);
+        npn_classes.insert(trigger_cache::npn_canonicalize(t).bits);
+    }
+    EXPECT_EQ(p_classes.size(), 3984u);
+    EXPECT_EQ(npn_classes.size(), 222u);
+}
+
+TEST(NpnCache, MatchesPOnlyCacheOnAllLut4Masters) {
+    // The satellite cross-check: every master function of the LUT4 space,
+    // every support set, NPN-cached == P-cached (the P cache is itself
+    // cross-checked against the uncached kernels in test_trigger_cache).
+    trigger_cache npn(canon_mode::npn);
+    trigger_cache p(canon_mode::p);
+    const std::vector<std::uint32_t>& supports = bf::cached_support_subsets(0xf, 3);
+    for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
+        const bf::truth_table master(4, f);
+        for (std::uint32_t s : supports) {
+            ASSERT_EQ(npn.exact(master, s), p.exact(master, s))
+                << "master 0x" << std::hex << f << " support 0x" << s;
+        }
+    }
+    // The NPN memo is the smaller one — that is the point of the extension.
+    EXPECT_LT(npn.size(), p.size());
+    EXPECT_LT(npn.misses(), p.misses());
+    EXPECT_GT(npn.hits(), p.hits());
+}
+
+TEST(NpnCache, NegatedMastersShareCacheEntries) {
+    // Sweeping a master and then any input/output negation of it must add
+    // no new canonical triggers: the second sweep is all hits.
+    trigger_cache cache;
+    const bf::truth_table f(4, 0x1ee8);
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) cache.exact(f, s);
+    const std::size_t entries = cache.size();
+    const std::uint64_t misses = cache.misses();
+
+    const bf::truth_table g = ~f.negate_inputs(0b1010);
+    std::vector<bf::truth_table> via_cache;
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+        via_cache.push_back(cache.exact(g, s));
+    }
+    EXPECT_EQ(cache.size(), entries);
+    EXPECT_EQ(cache.misses(), misses);
+
+    std::size_t i = 0;
+    for (std::uint32_t s : bf::cached_support_subsets(0xf, 3)) {
+        EXPECT_EQ(via_cache[i++], exact_trigger_function(g, s));
+    }
+}
+
+TEST(NpnCache, MergeFromRejectsModeMismatch) {
+    trigger_cache npn(canon_mode::npn);
+    trigger_cache p(canon_mode::p);
+    EXPECT_THROW(npn.merge_from(p), std::logic_error);
+}
+
+TEST(ConcurrentCache, MatchesUncachedUnderThreadContention) {
+    // Hammer one shared cache from several threads over a master pool with
+    // heavy overlap; every answer must equal the uncached kernel and the
+    // counters must add up to exactly one lookup per (thread, master,
+    // support).
+    concurrent_trigger_cache cache;
+    std::vector<bf::truth_table> masters;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 64; ++i) masters.emplace_back(4, lcg(state) & 0xffff);
+    const std::vector<std::uint32_t>& supports = bf::cached_support_subsets(0xf, 3);
+
+    constexpr unsigned k_threads = 4;
+    std::vector<int> failures(k_threads, 0);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < k_threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (const bf::truth_table& m : masters) {
+                for (std::uint32_t s : supports) {
+                    if (cache.exact(m, s) != exact_trigger_function(m, s)) {
+                        ++failures[t];
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread& t : pool) t.join();
+    for (int f : failures) EXPECT_EQ(f, 0);
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              k_threads * masters.size() * supports.size());
+    // All canonical work was deduplicated across threads: at most one miss
+    // per canonical (class, support) pair.
+    EXPECT_EQ(cache.misses(), cache.size());
+}
+
+}  // namespace
+}  // namespace plee::ee

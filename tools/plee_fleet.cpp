@@ -1,0 +1,185 @@
+// plee_fleet — command-line driver for the sharded multi-netlist runner.
+//
+//   plee_fleet --circuits 8 --scenario datapath-like   synthetic fleet
+//   plee_fleet --circuits itc99                        the full Table 3 suite
+//   plee_fleet --circuits b05,b07,b10                  selected benchmarks
+//
+// Options:
+//   --circuits X   fleet contents: a count (synthetic workloads), "itc99",
+//                  or a comma-separated list of benchmark ids  (default 8)
+//   --scenario S   synthetic scenario preset: random-dag | datapath-like |
+//                  control-fsm | wide-adder | mixed           (default mixed)
+//   --gates G      LUTs per synthetic netlist                 (default 150)
+//   --seed S       generator + stimulus seed                  (default fixed)
+//   --threads N    worker pool size, 0 = hardware_concurrency (default 0)
+//   --vectors V    random vectors per measurement             (default 20)
+//   --no-share     per-circuit private trigger caches instead of the
+//                  fleet-shared concurrent cache
+//   --json PATH    write the fleet result (summary + rows) as JSON
+//
+// Every circuit runs the full synth -> PL-map -> EE -> simulate pipeline
+// with golden-model verification; exit status is non-zero on any failure.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_circuits/itc99.hpp"
+#include "report/json.hpp"
+#include "report/table.hpp"
+#include "runner/runner.hpp"
+#include "sim/measure.hpp"
+#include "workload/workload.hpp"
+
+using namespace plee;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
+                 "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
+                 "       [--no-share] [--json PATH]\n",
+                 argv0);
+}
+
+std::vector<std::string> split_ids(const std::string& list) {
+    std::vector<std::string> ids;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) ids.push_back(list.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string circuits = "8";
+    std::string scenario_name = "mixed";
+    std::size_t gates = 150;
+    std::uint64_t seed = sim::measure_options{}.seed;
+    bool seed_given = false;
+    unsigned threads = 0;
+    std::size_t vectors = 20;
+    bool share = true;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (std::strcmp(argv[i], "--circuits") == 0) {
+            if (const char* v = next()) circuits = v; else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--scenario") == 0) {
+            if (const char* v = next()) scenario_name = v; else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--gates") == 0) {
+            if (const char* v = next()) gates = std::strtoull(v, nullptr, 10);
+            else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            if (const char* v = next()) { seed = std::strtoull(v, nullptr, 10); seed_given = true; }
+            else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            if (const char* v = next()) threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--vectors") == 0) {
+            if (const char* v = next()) vectors = std::strtoull(v, nullptr, 10);
+            else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--no-share") == 0) {
+            share = false;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (const char* v = next()) json_path = v; else { usage(argv[0]); return 2; }
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    try {
+        std::vector<runner::fleet_job> jobs;
+        const bool synthetic =
+            !circuits.empty() &&
+            circuits.find_first_not_of("0123456789") == std::string::npos;
+        if (synthetic) {
+            const std::size_t count = std::strtoull(circuits.c_str(), nullptr, 10);
+            if (count == 0) {
+                std::fprintf(stderr, "plee_fleet: --circuits must be > 0\n");
+                return 2;
+            }
+            // The generator seed defaults to a small fixed value; the large
+            // fixed stimulus seed stays on the measurement side.
+            const std::uint64_t gen_seed = seed_given ? seed : 1;
+            for (std::size_t i = 0; i < count; ++i) {
+                const wl::scenario kind =
+                    scenario_name == "mixed"
+                        ? wl::all_scenarios()[i % wl::all_scenarios().size()]
+                        : wl::scenario_from_string(scenario_name);
+                runner::fleet_job job;
+                job.id = std::string(wl::to_string(kind)) + "/" + std::to_string(i);
+                job.description = job.id;
+                job.netlist =
+                    wl::generate(wl::scenario_params(kind, gates, gen_seed + i));
+                jobs.push_back(std::move(job));
+            }
+        } else {
+            std::vector<std::string> ids;
+            if (circuits == "itc99") {
+                for (const bench::benchmark_info& info : bench::itc99_suite()) {
+                    ids.push_back(info.id);
+                }
+            } else {
+                ids = split_ids(circuits);
+            }
+            for (const std::string& id : ids) {
+                runner::fleet_job job;
+                job.id = id;
+                job.description = id;
+                job.netlist = bench::build_benchmark(id);
+                jobs.push_back(std::move(job));
+            }
+        }
+
+        runner::fleet_options opts;
+        opts.num_threads = threads;
+        opts.share_trigger_cache = share;
+        opts.experiment.measure.num_vectors = vectors;
+        if (seed_given) opts.experiment.measure.seed = seed;
+        const runner::fleet_result fleet = runner::run_fleet(jobs, opts);
+
+        report::text_table t({"Circuit", "PL Gates", "EE Gates", "Delay (ns)",
+                              "Delay EE (ns)", "% Delay Decr.", "Wall (ms)"});
+        for (const runner::job_result& r : fleet.results) {
+            t.add_row({r.id, std::to_string(r.row.pl_gates),
+                       std::to_string(r.row.ee_gates),
+                       report::fmt(r.row.delay_no_ee, 1),
+                       report::fmt(r.row.delay_ee, 1),
+                       report::fmt(r.row.delay_decrease_pct, 0) + "%",
+                       report::fmt(r.wall_ms, 1)});
+        }
+        std::printf("%s\n", t.to_string().c_str());
+        std::printf("fleet: %zu netlists, %u threads, %.0f ms wall, %.2f "
+                    "netlists/s, %.0f sweeps/s\n",
+                    fleet.results.size(), fleet.threads, fleet.wall_ms,
+                    fleet.netlists_per_s(), fleet.sweeps_per_s());
+        std::printf("trigger cache (%s): %.1f%% hit rate, %llu hits / %llu "
+                    "misses, %zu entries\n",
+                    share ? "fleet-shared" : "per-circuit",
+                    100.0 * fleet.cache_hit_rate(),
+                    static_cast<unsigned long long>(fleet.cache_hits),
+                    static_cast<unsigned long long>(fleet.cache_misses),
+                    fleet.cache_entries);
+
+        if (!json_path.empty()) {
+            report::json root = runner::to_json(fleet);
+            root.set("bench", report::json::str("plee_fleet"));
+            root.write_file(json_path);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "plee_fleet: %s\n", e.what());
+        return 1;
+    }
+}

@@ -9,6 +9,9 @@
 //   --threshold X      EE cost threshold (Equation 1 units) (default 0)
 //   --method M         trigger derivation: exact | cube     (default exact)
 //   --no-ee            skip Early Evaluation (baseline only)
+//   --threads N        EE trigger-search worker threads
+//                      (default 0 = hardware_concurrency; bit-identical
+//                      results at any count)
 //   --seed S           stimulus seed                        (default fixed)
 //   --dot FILE         write the PL netlist (post-EE) as Graphviz
 //   --vcd FILE         write a token waveform of the measured run
@@ -19,6 +22,7 @@
 // liveness/safety and wave-by-wave equivalence with the synchronous model).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -44,6 +48,7 @@ struct cli_options {
     double threshold = 0.0;
     ee::trigger_method method = ee::trigger_method::exact;
     bool apply_ee = true;
+    unsigned threads = 0;  // 0 = hardware_concurrency
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
     std::string dot_out;
     std::string vcd_out;
@@ -55,7 +60,7 @@ void usage() {
     std::fprintf(stderr,
                  "usage: plee_flow (--bench bXX | --blif FILE) [--vectors N] "
                  "[--threshold X]\n                 [--method exact|cube] [--no-ee] "
-                 "[--seed S] [--dot FILE]\n                 [--vcd FILE] "
+                 "[--threads N] [--seed S]\n                 [--dot FILE] [--vcd FILE] "
                  "[--blif-out FILE] [--report]\n");
 }
 
@@ -85,6 +90,12 @@ std::optional<cli_options> parse(int argc, char** argv) {
             else return std::nullopt;
         } else if (arg == "--no-ee") {
             o.apply_ee = false;
+        } else if (arg == "--threads") {
+            if (const char* v = next()) {
+                o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            } else {
+                return std::nullopt;
+            }
         } else if (arg == "--seed") {
             if (const char* v = next()) o.seed = std::strtoull(v, nullptr, 10);
             else return std::nullopt;
@@ -148,6 +159,7 @@ int main(int argc, char** argv) {
             ee::ee_options opts;
             opts.search.cost_threshold = o.threshold;
             opts.search.method = o.method;
+            opts.num_threads = o.threads;
             const ee::ee_stats stats = ee::apply_early_evaluation(mapped.pl, opts);
             std::printf("early evaluation: %zu triggers on %zu masters "
                         "(+%.0f%% area)\n",
