@@ -1,0 +1,290 @@
+// bench_sim_queue — events/s of the two pl_simulator event-queue engines.
+//
+// The measure phase is the dominant per-circuit cost of a fleet job, so this
+// bench times the simulator alone: a fleet mix of generated circuits (all
+// four scenario presets round-robin) is mapped, EE-transformed, and then
+// simulated repeatedly under both queue engines with identical stimulus.
+// Before any timing, every circuit is cross-checked — wave records, stats
+// and traces must be bit-identical between the engines (non-zero exit
+// otherwise), so the throughput numbers compare two implementations of the
+// same computation.
+//
+// Reported per scenario and for the whole mix: events/s under the heap and
+// calendar engines and the speedup.  The mix row can fan circuits across
+// worker threads (--threads) to mirror how the fleet runner drives shards.
+//
+//   --circuits N   netlists in the mix                       (default 12)
+//   --gates G      LUTs per netlist                          (default 150)
+//   --vectors V    random vectors per run                    (default 60)
+//   --seed S       generator + stimulus seed                 (default 1)
+//   --repeat R     timed repetitions per engine              (default 3)
+//   --threads T    worker threads for the fleet-mix row      (default 1)
+//   --json PATH    write BENCH_sim.json for cross-PR perf tracking
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ee/ee_transform.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "report/json.hpp"
+#include "report/table.hpp"
+#include "sim/measure.hpp"
+#include "sim/pl_sim.hpp"
+#include "workload/workload.hpp"
+
+using namespace plee;
+
+namespace {
+
+struct circuit {
+    std::string scenario;
+    pl::pl_netlist pl;
+    std::vector<std::vector<bool>> vectors;
+};
+
+struct engine_output {
+    std::vector<sim::wave_record> waves;
+    sim::sim_run_stats stats;
+    std::vector<sim::trace_event> trace;
+};
+
+engine_output run_once(const circuit& c, sim::queue_kind queue,
+                       bool collect_trace) {
+    sim::sim_options opts;
+    opts.queue = queue;
+    opts.collect_trace = collect_trace;
+    sim::pl_simulator simulator(c.pl, opts);
+    engine_output out;
+    out.waves = simulator.run(c.vectors);
+    out.stats = simulator.stats();
+    out.trace = simulator.trace();
+    return out;
+}
+
+bool outputs_identical(const engine_output& a, const engine_output& b) {
+    if (a.waves.size() != b.waves.size()) return false;
+    for (std::size_t i = 0; i < a.waves.size(); ++i) {
+        const sim::wave_record& x = a.waves[i];
+        const sim::wave_record& y = b.waves[i];
+        if (x.outputs != y.outputs || x.release_time != y.release_time ||
+            x.input_stable != y.input_stable ||
+            x.output_stable != y.output_stable) {
+            return false;
+        }
+    }
+    if (a.stats.events != b.stats.events || a.stats.firings != b.stats.firings ||
+        a.stats.ee_hits != b.stats.ee_hits ||
+        a.stats.ee_misses != b.stats.ee_misses ||
+        a.stats.ee_wins != b.stats.ee_wins) {
+        return false;
+    }
+    if (a.trace.size() != b.trace.size()) return false;
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        if (a.trace[i].time != b.trace[i].time ||
+            a.trace[i].edge != b.trace[i].edge ||
+            a.trace[i].value != b.trace[i].value) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Wall ms of the simulation runs themselves for every circuit in `group`,
+/// fanned over `threads` workers (atomic work queue, same scheme as the
+/// fleet runner).  Simulator construction (the per-netlist CSR/descriptor
+/// build) happens outside the clock — this is the same cut
+/// measure_average_delay uses for sim_wall_ms, so events/s here and the
+/// fleet's sim_events_per_s measure the same thing.
+double timed_pass(const std::vector<const circuit*>& group,
+                  sim::queue_kind queue, unsigned threads,
+                  std::uint64_t* events_out) {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::int64_t> wall_ns{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= group.size()) return;
+            const circuit& c = *group[i];
+            sim::sim_options opts;
+            opts.queue = queue;
+            sim::pl_simulator simulator(c.pl, opts);
+            const auto start = std::chrono::steady_clock::now();
+            simulator.run(c.vectors);
+            const auto end = std::chrono::steady_clock::now();
+            events.fetch_add(simulator.stats().events);
+            wall_ns.fetch_add(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                    .count());
+        }
+    };
+    std::vector<std::thread> pool;
+    if (threads <= 1) {
+        worker();
+    } else {
+        for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+        for (std::thread& t : pool) t.join();
+    }
+    *events_out = events.load();
+    // Summed per-run wall time: with T workers this is T x the elapsed time,
+    // so events / wall stays per-core throughput at any thread count.
+    return static_cast<double>(wall_ns.load()) * 1e-6;
+}
+
+/// Best-of-R events/s for one engine over a circuit group.
+double best_events_per_s(const std::vector<const circuit*>& group,
+                         sim::queue_kind queue, unsigned threads, int repeat,
+                         std::uint64_t* events_out) {
+    double best = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+        std::uint64_t events = 0;
+        const double ms = timed_pass(group, queue, threads, &events);
+        if (ms > 0.0) best = std::max(best, 1000.0 * static_cast<double>(events) / ms);
+        *events_out = events;
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::size_t circuits = 12;
+    std::size_t gates = 150;
+    std::size_t vectors = 60;
+    std::uint64_t seed = 1;
+    int repeat = 3;
+    unsigned threads = 1;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (std::strcmp(argv[i], "--circuits") == 0) {
+            if (const char* v = next()) circuits = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--gates") == 0) {
+            if (const char* v = next()) gates = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--vectors") == 0) {
+            if (const char* v = next()) vectors = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--repeat") == 0) {
+            if (const char* v = next()) repeat = std::atoi(v);
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            if (const char* v = next())
+                threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (const char* v = next()) json_path = v;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--circuits N] [--gates G] [--vectors V] "
+                         "[--seed S] [--repeat R] [--threads T] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+    try {
+        // Fleet mix: the four presets round-robin, EE applied, shared stimulus
+        // seed — the same shape the fleet runner simulates per shard.
+        std::vector<circuit> mix;
+        for (std::size_t i = 0; i < circuits; ++i) {
+            const wl::scenario kind =
+                wl::all_scenarios()[i % wl::all_scenarios().size()];
+            circuit c;
+            c.scenario = wl::to_string(kind);
+            pl::map_result mapped = pl::map_to_phased_logic(
+                wl::generate(wl::scenario_params(kind, gates, seed + i)));
+            ee::apply_early_evaluation(mapped.pl);
+            c.pl = std::move(mapped.pl);
+            c.vectors = sim::random_vectors(vectors, c.pl.sources().size(),
+                                            seed ^ (i * 0x9e3779b97f4a7c15ull));
+            mix.push_back(std::move(c));
+        }
+
+        // Golden gate before any timing: both engines, bit-identical
+        // everything (trace collection on, so trace contents are covered).
+        for (const circuit& c : mix) {
+            const engine_output heap =
+                run_once(c, sim::queue_kind::binary_heap, true);
+            const engine_output cal = run_once(c, sim::queue_kind::calendar, true);
+            if (!outputs_identical(heap, cal)) {
+                std::fprintf(stderr,
+                             "FAIL: engines disagree on %s (gates=%zu seed=%llu)\n",
+                             c.scenario.c_str(), gates,
+                             static_cast<unsigned long long>(seed));
+                return 1;
+            }
+        }
+        std::printf("cross-check: %zu circuits bit-identical across engines\n\n",
+                    mix.size());
+
+        std::map<std::string, std::vector<const circuit*>> by_scenario;
+        std::vector<const circuit*> all;
+        for (const circuit& c : mix) {
+            by_scenario[c.scenario].push_back(&c);
+            all.push_back(&c);
+        }
+
+        report::text_table t(
+            {"Workload", "Heap ev/s", "Calendar ev/s", "Speedup"});
+        report::json rows = report::json::array();
+        const auto add_row = [&](const std::string& name,
+                                 const std::vector<const circuit*>& group,
+                                 unsigned row_threads) {
+            std::uint64_t events = 0;
+            const double heap = best_events_per_s(
+                group, sim::queue_kind::binary_heap, row_threads, repeat, &events);
+            const double cal = best_events_per_s(
+                group, sim::queue_kind::calendar, row_threads, repeat, &events);
+            const double speedup = heap > 0.0 ? cal / heap : 0.0;
+            t.add_row({name, report::fmt(heap, 0), report::fmt(cal, 0),
+                       report::fmt(speedup, 2) + "x"});
+            report::json j = report::json::object();
+            j.set("workload", report::json::str(name));
+            j.set("threads",
+                  report::json::number(static_cast<std::int64_t>(row_threads)));
+            j.set("events_per_run",
+                  report::json::number(static_cast<std::int64_t>(events)));
+            j.set("heap_events_per_s", report::json::number(heap));
+            j.set("calendar_events_per_s", report::json::number(cal));
+            j.set("speedup", report::json::number(speedup));
+            rows.push(std::move(j));
+            return speedup;
+        };
+
+        for (const auto& [name, group] : by_scenario) {
+            add_row(name, group, /*row_threads=*/1);
+        }
+        const double mix_speedup =
+            add_row("fleet-mix", all, threads);
+        std::printf("%zu circuits x %zu gates, %zu vectors, best of %d "
+                    "(fleet-mix at %u threads)\n\n%s\n",
+                    circuits, gates, vectors, repeat, threads,
+                    t.to_string().c_str());
+
+        if (!json_path.empty()) {
+            report::json doc = report::json::object();
+            doc.set("benchmark", report::json::str("bench_sim_queue"));
+            doc.set("circuits", report::json::number(circuits));
+            doc.set("gates", report::json::number(gates));
+            doc.set("vectors", report::json::number(vectors));
+            doc.set("seed",
+                    report::json::number(static_cast<std::int64_t>(seed)));
+            doc.set("rows", std::move(rows));
+            doc.set("fleet_mix_speedup", report::json::number(mix_speedup));
+            doc.write_file(json_path);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -17,6 +17,7 @@ experiment_row run_ee_experiment(const std::string& description,
         sim::measure_average_delay(mapped.pl, &netlist, options.measure);
     row.delay_no_ee = base.avg_delay;
     row.stats_no_ee = base.stats;
+    row.sim_wall_ms += base.sim_wall_ms;
 
     // Early Evaluation applied to the same mapping.
     pl::map_result mapped_ee = pl::map_to_phased_logic(netlist, options.map);
@@ -26,6 +27,7 @@ experiment_row run_ee_experiment(const std::string& description,
         sim::measure_average_delay(mapped_ee.pl, &netlist, options.measure);
     row.delay_ee = with_ee.avg_delay;
     row.stats_ee = with_ee.stats;
+    row.sim_wall_ms += with_ee.sim_wall_ms;
 
     row.delay_diff = row.delay_no_ee - row.delay_ee;
     row.area_increase_pct =
@@ -49,6 +51,9 @@ json to_json(const experiment_row& row, bool include_cache_counters) {
     j.set("delay_decrease_pct", json::number(row.delay_decrease_pct));
     j.set("triggers_added", json::number(row.ee_detail.triggers_added));
     j.set("masters_considered", json::number(row.ee_detail.masters_considered));
+    j.set("sim_events", json::number(static_cast<std::int64_t>(
+                            row.stats_no_ee.events + row.stats_ee.events)));
+    j.set("sim_wall_ms", json::number(row.sim_wall_ms));
     if (include_cache_counters) {
         j.set("trigger_cache_hits", json::number(static_cast<std::int64_t>(
                                         row.ee_detail.cache_hits)));

@@ -37,6 +37,9 @@ struct experiment_row {
     sim::sim_run_stats stats_no_ee;
     sim::sim_run_stats stats_ee;
     ee::ee_stats ee_detail;
+    /// Event-simulation wall time across both measurements (ms) — with the
+    /// stats' event counts this tracks simulator events/s per circuit.
+    double sim_wall_ms = 0.0;
 };
 
 /// Runs the full pipeline on one benchmark circuit.

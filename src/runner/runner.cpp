@@ -90,6 +90,7 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         fleet.total_sweeps += r.row.ee_detail.masters_considered;
         fleet.total_sim_events +=
             r.row.stats_no_ee.events + r.row.stats_ee.events;
+        fleet.total_sim_wall_ms += r.row.sim_wall_ms;
         fleet.cache_hits += r.row.ee_detail.cache_hits;
         fleet.cache_misses += r.row.ee_detail.cache_misses;
         fleet.cache_entries += r.row.ee_detail.cache_entries;
@@ -118,6 +119,8 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
     j.set("total_sweeps", report::json::number(fleet.total_sweeps));
     j.set("total_sim_events", report::json::number(
                                   static_cast<std::int64_t>(fleet.total_sim_events)));
+    j.set("total_sim_wall_ms", report::json::number(fleet.total_sim_wall_ms));
+    j.set("sim_events_per_s", report::json::number(fleet.sim_events_per_s()));
     j.set("cache_hits", report::json::number(static_cast<std::int64_t>(fleet.cache_hits)));
     j.set("cache_misses",
           report::json::number(static_cast<std::int64_t>(fleet.cache_misses)));

@@ -70,6 +70,10 @@ struct fleet_result {
     /// each) summed over the fleet — the engine-throughput unit.
     std::size_t total_sweeps = 0;
     std::uint64_t total_sim_events = 0;
+    /// Summed per-job event-simulation wall time (ms).  Unlike wall_ms this
+    /// excludes synthesis/mapping/EE-search, so events/s measures the
+    /// simulator engine itself.
+    double total_sim_wall_ms = 0.0;
     /// Trigger-cache counters: the shared concurrent cache's totals when
     /// sharing, the summed per-job counters otherwise.
     std::uint64_t cache_hits = 0;
@@ -91,6 +95,14 @@ struct fleet_result {
         return wall_ms <= 0.0 ? 0.0
                               : 1000.0 * static_cast<double>(total_sweeps) /
                                     wall_ms;
+    }
+    /// Simulator throughput: processed events per second of simulation wall
+    /// time, summed over every measurement in the fleet.
+    double sim_events_per_s() const {
+        return total_sim_wall_ms <= 0.0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(total_sim_events) /
+                         total_sim_wall_ms;
     }
 };
 

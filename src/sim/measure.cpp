@@ -1,5 +1,6 @@
 #include "sim/measure.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -26,10 +27,14 @@ measure_result measure_average_delay(const pl::pl_netlist& pl,
         random_vectors(options.num_vectors, pl.sources().size(), options.seed);
 
     pl_simulator simulator(pl, options.sim);
+    const auto sim_start = std::chrono::steady_clock::now();
     const std::vector<wave_record> waves = simulator.run(vectors);
+    const auto sim_end = std::chrono::steady_clock::now();
 
     measure_result result;
     result.stats = simulator.stats();
+    result.sim_wall_ms =
+        std::chrono::duration<double, std::milli>(sim_end - sim_start).count();
     result.delays.reserve(waves.size());
 
     if (golden != nullptr) {

@@ -38,6 +38,9 @@ struct measure_result {
     std::vector<double> delays;  ///< per wave
     sim_run_stats stats;
     std::size_t mismatched_waves = 0;
+    /// Wall time of the event-simulation run itself (excludes the golden
+    /// comparison) — with stats.events this yields sim events/s.
+    double sim_wall_ms = 0.0;
 };
 
 /// Deterministic pseudo-random stimulus, one vector per wave.

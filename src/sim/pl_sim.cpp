@@ -3,41 +3,104 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "bool/support.hpp"
-
 namespace plee::sim {
 
+namespace {
+
+/// Calendar bucket width: the smallest positive delay-model component, so
+/// deposits separated by at least one delay land in distinct ticks and
+/// same-time deposits share a bucket.  Falls back to 1.0 for an all-zero
+/// (degenerate) model.
+double bucket_width_for(const delay_model& d) {
+    double width = 0.0;
+    for (double v : {d.d_celem, d.d_lut, d.d_latch, d.d_ee_penalty, d.d_source}) {
+        if (v > 0.0 && (width == 0.0 || v < width)) width = v;
+    }
+    return width > 0.0 ? width : 1.0;
+}
+
+/// Largest single-deposit look-ahead the model can produce (every scheduled
+/// time is at most this far past the event that scheduled it) — sizes the
+/// calendar's ring window.
+double max_delay_for(const delay_model& d) {
+    return std::max({d.d_source, d.gate_delay() + d.d_ee_penalty,
+                     d.through_delay(), d.ack_delay(), d.efire_delay()});
+}
+
+}  // namespace
+
+const char* to_string(queue_kind kind) {
+    switch (kind) {
+        case queue_kind::binary_heap: return "heap";
+        case queue_kind::calendar: return "calendar";
+    }
+    return "?";
+}
+
+queue_kind queue_kind_from_string(const std::string& name) {
+    if (name == "heap" || name == "binary_heap") return queue_kind::binary_heap;
+    if (name == "calendar") return queue_kind::calendar;
+    throw std::invalid_argument("unknown queue kind: " + name);
+}
+
 pl_simulator::pl_simulator(const pl::pl_netlist& pl, sim_options options)
-    : pl_(pl), options_(options),
-      source_index_(pl.num_gates(), 0), sink_index_(pl.num_gates(), 0) {
+    : pl_(pl), options_(options), topo_(pl) {
+    const std::size_t num_gates = pl.num_gates();
+    desc_.resize(num_gates);
+    in_count_.resize(num_gates);
+    for (pl::gate_id g = 0; g < num_gates; ++g) {
+        const pl::pl_gate& gate = pl.gate(g);
+        gate_desc& d = desc_[g];
+        d.kind = gate.kind;
+        d.num_data = static_cast<std::uint8_t>(gate.data_in.size());
+        d.const_value = gate.const_value;
+        d.in_begin = topo_.in_off[g];
+        d.in_end = topo_.in_off[g + 1];
+        d.data_begin = topo_.data_off[g];
+        d.out_begin = topo_.out_off[g];
+        d.out_end = topo_.out_off[g + 1];
+        d.efire_in = gate.efire_in;
+        d.fn_bits = gate.function.bits();
+        in_count_[g] = d.in_end - d.in_begin;
+        if (gate.trigger != pl::k_invalid_gate) {
+            // Master of an EE pair: bake the trigger function and its
+            // pin-packing map in, so neither engine allocates at fire time.
+            const pl::pl_gate& trig = pl.gate(gate.trigger);
+            d.trig_fn_bits = trig.function.bits();
+            std::uint8_t count = 0;
+            for (std::uint8_t v = 0; v < 32; ++v) {
+                if ((trig.trigger_support >> v) & 1u) {
+                    if (count >= sizeof(d.trig_pins)) {
+                        throw std::logic_error(
+                            "pl_simulator: trigger support wider than the "
+                            "LUT pin limit");
+                    }
+                    d.trig_pins[count++] = v;
+                }
+            }
+            d.trig_pin_count = count;
+        }
+    }
     for (std::size_t i = 0; i < pl.sources().size(); ++i) {
-        source_index_[pl.sources()[i]] = i;
+        desc_[pl.sources()[i]].env_slot = static_cast<std::uint32_t>(i);
     }
     for (std::size_t i = 0; i < pl.sinks().size(); ++i) {
-        sink_index_[pl.sinks()[i]] = i;
+        desc_[pl.sinks()[i]].env_slot = static_cast<std::uint32_t>(i);
     }
 }
 
 void pl_simulator::reset() {
     stats_ = {};
+    trace_on_ = options_.collect_trace;
     trace_.clear();
-    tokens_.assign(pl_.num_edges(), {});
-    pending_.assign(pl_.num_gates(), 0);
-    fired_waves_.assign(pl_.num_gates(), 0);
-    heap_.clear();
     next_seq_ = 0;
-    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
-        pending_[g] = static_cast<std::uint32_t>(pl_.gate(g).in_edges.size());
-    }
-    // Initial marking: tokens in place at t = 0.
-    for (pl::edge_id e = 0; e < pl_.num_edges(); ++e) {
-        const pl::pl_edge& edge = pl_.edge(e);
-        if (edge.init_token) {
-            tokens_[e] = {true, edge.init_value, 0.0};
-            --pending_[edge.to];
-        }
-    }
+    pending_ = in_count_;
+    fired_waves_.assign(pl_.num_gates(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Reference engine: binary heap over AoS token slots (the seed's hot path).
+// ---------------------------------------------------------------------------
 
 void pl_simulator::schedule(pl::edge_id edge, bool value, double time) {
     heap_.push_back({time, next_seq_++, edge, value});
@@ -52,10 +115,11 @@ void pl_simulator::place(pl::edge_id edge, bool value, double time) {
             std::to_string(edge) + " (marked-graph safety violation)");
     }
     slot = {true, value, time};
-    if (options_.collect_trace && pl_.edge(edge).kind == pl::edge_kind::data) {
+    const pl::pl_edge& e = pl_.edge(edge);
+    if (options_.collect_trace && e.kind == pl::edge_kind::data) {
         trace_.push_back({time, edge, value});
     }
-    if (--pending_[pl_.edge(edge).to] == 0) try_fire(pl_.edge(edge).to);
+    if (--pending_[e.to] == 0) try_fire(e.to);
 }
 
 void pl_simulator::fire_source(pl::gate_id g) {
@@ -78,7 +142,7 @@ void pl_simulator::fire_source(pl::gate_id g) {
         ++fired_waves_[g];
         ++stats_.firings;
 
-        const bool value = (*vectors_)[wave][source_index_[g]];
+        const bool value = (*vectors_)[wave][desc_[g].env_slot];
         const double t_out = t_ready + options_.delays.d_source;
         input_stable_[wave] = std::max(input_stable_[wave], t_out);
         for (pl::edge_id e : gate.out_edges) schedule(e, value, t_out);
@@ -105,7 +169,7 @@ void pl_simulator::record_sink(pl::gate_id g) {
     }
 
     if (wave >= num_waves_) return;  // drain beyond the measured horizon
-    wave_outputs_[wave][sink_index_[g]] = tok.value;
+    wave_outputs_[wave][desc_[g].env_slot] = tok.value;
     output_stable_[wave] = std::max(output_stable_[wave], tok.time);
     if (--sinks_pending_[wave] == 0) {
         ++waves_stable_;
@@ -195,14 +259,15 @@ void pl_simulator::try_fire(pl::gate_id g) {
                 ++stats_.ee_misses;
             }
             if (options_.check_early_value) {
-                // Recompute the trigger from the master's consumed operands.
-                const pl::pl_gate& trig = pl_.gate(gate.trigger);
-                const std::vector<int> pins = bf::support_members(trig.trigger_support);
+                // Recompute the trigger from the master's consumed operands
+                // through the precomputed pin-packing map.
+                const gate_desc& d = desc_[g];
                 std::uint32_t packed = 0;
-                for (std::size_t i = 0; i < pins.size(); ++i) {
-                    if ((minterm >> pins[i]) & 1u) packed |= 1u << i;
+                for (std::uint8_t i = 0; i < d.trig_pin_count; ++i) {
+                    packed |= ((minterm >> d.trig_pins[i]) & 1u) << i;
                 }
-                if (trig.function.eval(packed) != efire_value) {
+                const bool trig_value = (d.trig_fn_bits >> packed) & 1u;
+                if (trig_value != efire_value) {
                     throw std::logic_error(
                         "pl_simulator: efire token disagrees with the trigger "
                         "function (EE invariant violated)");
@@ -220,6 +285,302 @@ void pl_simulator::try_fire(pl::gate_id g) {
         schedule(e, value, edge.kind == pl::edge_kind::ack ? t_ack : t_out);
     }
 }
+
+void pl_simulator::run_heap() {
+    tokens_.assign(pl_.num_edges(), {});
+    heap_.clear();
+    // Initial marking: tokens in place at t = 0.
+    for (pl::edge_id e = 0; e < pl_.num_edges(); ++e) {
+        const pl::pl_edge& edge = pl_.edge(e);
+        if (edge.init_token) {
+            tokens_[e] = {true, edge.init_value, 0.0};
+            --pending_[edge.to];
+        }
+    }
+
+    // Kick off every gate enabled by the initial marking.
+    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
+        if (pending_[g] == 0 && !pl_.gate(g).in_edges.empty()) try_fire(g);
+        // Sources with no acknowledge inputs (no consumers needing them) may
+        // also be enabled with zero in-edges.
+        if (pending_[g] == 0 && pl_.gate(g).in_edges.empty() &&
+            pl_.gate(g).kind == pl::gate_kind::source &&
+            !pl_.gate(g).out_edges.empty()) {
+            try_fire(g);
+        }
+    }
+
+    while (!heap_.empty() && waves_stable_ < num_waves_) {
+        if (++stats_.events > options_.max_events) {
+            throw std::runtime_error("pl_simulator: event budget exhausted");
+        }
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        const deposit d = heap_.back();
+        heap_.pop_back();
+        place(d.edge, d.value, d.time);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Throughput engine: calendar queue over SoA tokens and CSR adjacency.
+// ---------------------------------------------------------------------------
+
+void pl_simulator::place_fast(pl::edge_id edge, bool value, double time) {
+    const std::size_t word = edge >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (edge & 63);
+    const std::uint64_t present = tok_present_[word];
+    if (present & bit) {
+        throw std::logic_error(
+            "pl_simulator: token deposited onto an occupied edge " +
+            std::to_string(edge) + " (marked-graph safety violation)");
+    }
+    tok_present_[word] = present | bit;
+    tok_value_[word] = value ? tok_value_[word] | bit : tok_value_[word] & ~bit;
+    tok_time_[edge] = time;
+    if (trace_on_ && !topo_.edge_is_ack[edge]) {
+        trace_.push_back({time, edge, value});
+    }
+    const pl::gate_id g = topo_.edge_to[edge];
+    if (--pending_[g] == 0) try_fire_fast(g);
+}
+
+void pl_simulator::fire_source_fast(pl::gate_id g) {
+    const gate_desc& d = desc_[g];
+    while (pending_[g] == 0) {
+        const std::size_t wave = fired_waves_[g];
+        if (wave >= num_waves_ || wave >= released_waves_) return;
+
+        double t_ready = release_time_[wave];
+        for (std::uint32_t i = d.in_begin; i < d.in_end; ++i) {
+            const pl::edge_id e = topo_.in_flat[i];
+            t_ready = std::max(t_ready, tok_time_[e]);
+            tok_present_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+        }
+        pending_[g] = in_count_[g];
+        ++fired_waves_[g];
+        ++stats_.firings;
+
+        const bool value = (*vectors_)[wave][d.env_slot];
+        const double t_out = t_ready + options_.delays.d_source;
+        input_stable_[wave] = std::max(input_stable_[wave], t_out);
+        const std::uint64_t tick = calendar_.tick_of(t_out);
+        std::uint64_t seq = next_seq_;
+        for (std::uint32_t i = d.out_begin; i < d.out_end; ++i) {
+            calendar_.push_at(
+                tick, {t_out, cal_event::pack(seq++, topo_.out_flat[i], value)});
+        }
+        next_seq_ = seq;
+    }
+}
+
+void pl_simulator::record_sink_fast(pl::gate_id g) {
+    const gate_desc& d = desc_[g];
+    const pl::edge_id data_edge = topo_.data_flat[d.data_begin];
+    const bool tok_val = token_value(data_edge);
+    const double tok_time = tok_time_[data_edge];
+    const std::size_t wave = fired_waves_[g];
+
+    double t_ready = tok_time;
+    for (std::uint32_t i = d.in_begin; i < d.in_end; ++i) {
+        const pl::edge_id e = topo_.in_flat[i];
+        t_ready = std::max(t_ready, tok_time_[e]);
+        tok_present_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+    }
+    pending_[g] = in_count_[g];
+    ++fired_waves_[g];
+    ++stats_.firings;
+
+    const double t_ack = t_ready + options_.delays.ack_delay();
+    const std::uint64_t tick = calendar_.tick_of(t_ack);
+    std::uint64_t seq = next_seq_;
+    for (std::uint32_t i = d.out_begin; i < d.out_end; ++i) {
+        calendar_.push_at(
+            tick, {t_ack, cal_event::pack(seq++, topo_.out_flat[i], false)});
+    }
+    next_seq_ = seq;
+
+    if (wave >= num_waves_) return;  // drain beyond the measured horizon
+    wave_outputs_[wave][d.env_slot] = tok_val;
+    output_stable_[wave] = std::max(output_stable_[wave], tok_time);
+    if (--sinks_pending_[wave] == 0) {
+        ++waves_stable_;
+        if (options_.non_pipelined && wave + 1 < num_waves_) {
+            release_time_[wave + 1] = output_stable_[wave];
+            ++released_waves_;
+            for (pl::gate_id src : pl_.sources()) {
+                if (pending_[src] == 0) fire_source_fast(src);
+            }
+        }
+    }
+}
+
+void pl_simulator::try_fire_fast(pl::gate_id g) {
+    if (pending_[g] != 0) return;
+    const gate_desc& d = desc_[g];
+
+    switch (d.kind) {
+        case pl::gate_kind::source:
+            fire_source_fast(g);
+            return;
+        case pl::gate_kind::sink:
+            record_sink_fast(g);
+            return;
+        default:
+            break;
+    }
+
+    // Readiness + consume in one pass, then LUT operands, then emit
+    // (clearing presence leaves values and times intact).
+    const pl::edge_id* const in_flat = topo_.in_flat.data();
+    const double* const tok_time = tok_time_.data();
+    double t_ready = 0.0;
+    for (std::uint32_t i = d.in_begin; i < d.in_end; ++i) {
+        const pl::edge_id e = in_flat[i];
+        t_ready = std::max(t_ready, tok_time[e]);
+        tok_present_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+    }
+    const pl::edge_id* const data_flat = topo_.data_flat.data() + d.data_begin;
+    std::uint32_t minterm = 0;
+    double t_data = 0.0;
+    for (std::uint8_t pin = 0; pin < d.num_data; ++pin) {
+        const pl::edge_id e = data_flat[pin];
+        minterm |= static_cast<std::uint32_t>(token_value(e)) << pin;
+        t_data = std::max(t_data, tok_time[e]);
+    }
+    const bool has_trigger = d.efire_in != pl::k_invalid_edge;
+    double efire_time = 0.0;
+    bool efire_value = false;
+    if (has_trigger) {
+        efire_time = tok_time[d.efire_in];
+        efire_value = token_value(d.efire_in);
+    }
+
+    pending_[g] = in_count_[g];
+    ++fired_waves_[g];
+    ++stats_.firings;
+
+    bool value = false;
+    double t_out = 0.0;
+    switch (d.kind) {
+        case pl::gate_kind::const_source:
+            value = d.const_value;
+            t_out = t_ready + options_.delays.d_source;
+            break;
+        case pl::gate_kind::through:
+            value = (minterm & 1u) != 0;  // identity on the D token
+            t_out = t_ready + options_.delays.through_delay();
+            break;
+        case pl::gate_kind::trigger:
+            value = (d.fn_bits >> minterm) & 1u;
+            t_out = t_ready + options_.delays.gate_delay();
+            break;
+        case pl::gate_kind::compute: {
+            value = (d.fn_bits >> minterm) & 1u;
+            if (!has_trigger) {
+                t_out = t_ready + options_.delays.gate_delay();
+                break;
+            }
+            const double normal =
+                t_data + options_.delays.gate_delay() + options_.delays.d_ee_penalty;
+            if (efire_value) {
+                const double early = efire_time + options_.delays.efire_delay();
+                t_out = std::min(early, normal);
+                ++stats_.ee_hits;
+                if (early < normal) ++stats_.ee_wins;
+            } else {
+                t_out = normal;
+                ++stats_.ee_misses;
+            }
+            if (options_.check_early_value) {
+                std::uint32_t packed = 0;
+                for (std::uint8_t i = 0; i < d.trig_pin_count; ++i) {
+                    packed |= ((minterm >> d.trig_pins[i]) & 1u) << i;
+                }
+                const bool trig_value = (d.trig_fn_bits >> packed) & 1u;
+                if (trig_value != efire_value) {
+                    throw std::logic_error(
+                        "pl_simulator: efire token disagrees with the trigger "
+                        "function (EE invariant violated)");
+                }
+            }
+            break;
+        }
+        default:
+            throw std::logic_error("pl_simulator: unexpected gate kind in firing");
+    }
+
+    const double t_ack = t_ready + options_.delays.ack_delay();
+    const std::uint64_t tick_out = calendar_.tick_of(t_out);
+    const std::uint64_t tick_ack = calendar_.tick_of(t_ack);
+    const pl::edge_id* const out_flat = topo_.out_flat.data();
+    std::uint64_t seq = next_seq_;
+    for (std::uint32_t i = d.out_begin; i < d.out_end; ++i) {
+        const pl::edge_id e = out_flat[i];
+        if (topo_.edge_is_ack[e]) {
+            calendar_.push_at(tick_ack, {t_ack, cal_event::pack(seq++, e, value)});
+        } else {
+            calendar_.push_at(tick_out, {t_out, cal_event::pack(seq++, e, value)});
+        }
+    }
+    next_seq_ = seq;
+}
+
+void pl_simulator::run_calendar() {
+    const std::size_t num_edges = pl_.num_edges();
+    tok_present_.assign((num_edges + 63) / 64, 0);
+    tok_value_.assign((num_edges + 63) / 64, 0);
+    tok_time_.assign(num_edges, 0.0);
+    calendar_.reset(bucket_width_for(options_.delays),
+                    max_delay_for(options_.delays), num_edges);
+
+    // Initial marking: tokens in place at t = 0.
+    for (pl::edge_id e = 0; e < num_edges; ++e) {
+        const pl::pl_edge& edge = pl_.edge(e);
+        if (edge.init_token) {
+            const std::size_t word = e >> 6;
+            const std::uint64_t bit = std::uint64_t{1} << (e & 63);
+            tok_present_[word] |= bit;
+            if (edge.init_value) tok_value_[word] |= bit;
+            --pending_[edge.to];
+        }
+    }
+
+    // Kick off every gate enabled by the initial marking (same rules as the
+    // reference engine, read from the descriptors).
+    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
+        if (pending_[g] == 0 && in_count_[g] != 0) try_fire_fast(g);
+        if (pending_[g] == 0 && in_count_[g] == 0 &&
+            desc_[g].kind == pl::gate_kind::source &&
+            desc_[g].out_end != desc_[g].out_begin) {
+            try_fire_fast(g);
+        }
+    }
+
+    // The event counter lives in a register for the loop (stats_.events is a
+    // uint64 the queue's stores could alias, forcing reloads) and is written
+    // back on every exit path.
+    std::uint64_t events = stats_.events;
+    const std::uint64_t max_events = options_.max_events;
+    try {
+        while (!calendar_.empty() && waves_stable_ < num_waves_) {
+            if (++events > max_events) {
+                throw std::runtime_error("pl_simulator: event budget exhausted");
+            }
+            // Argument loads happen before the call, so the reference going
+            // stale on an in-run push inside place_fast is harmless.
+            const cal_event& dep = calendar_.pop_min();
+            place_fast(dep.edge(), dep.value(), dep.time);
+        }
+    } catch (...) {
+        stats_.events = events;
+        throw;
+    }
+    stats_.events = events;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-independent driver.
+// ---------------------------------------------------------------------------
 
 std::vector<wave_record> pl_simulator::run(
     const std::vector<std::vector<bool>>& vectors) {
@@ -242,27 +603,21 @@ std::vector<wave_record> pl_simulator::run(
     sinks_pending_.assign(num_waves_, pl_.sinks().size());
     waves_stable_ = 0;
     wave_outputs_.assign(num_waves_, std::vector<bool>(pl_.sinks().size(), false));
-
-    // Kick off every gate enabled by the initial marking.
-    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
-        if (pending_[g] == 0 && !pl_.gate(g).in_edges.empty()) try_fire(g);
-        // Sources with no acknowledge inputs (no consumers needing them) may
-        // also be enabled with zero in-edges.
-        if (pending_[g] == 0 && pl_.gate(g).in_edges.empty() &&
-            pl_.gate(g).kind == pl::gate_kind::source &&
-            !pl_.gate(g).out_edges.empty()) {
-            try_fire(g);
-        }
+    if (options_.collect_trace) {
+        // One data token per data edge per wave in the common case.
+        trace_.reserve(std::min<std::size_t>(num_waves_ * topo_.num_data_edges,
+                                             std::size_t{1} << 20));
     }
 
-    while (!heap_.empty() && waves_stable_ < num_waves_) {
-        if (++stats_.events > options_.max_events) {
-            throw std::runtime_error("pl_simulator: event budget exhausted");
-        }
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-        const deposit d = heap_.back();
-        heap_.pop_back();
-        place(d.edge, d.value, d.time);
+    // The calendar engine packs (seq, edge, value) into one 64-bit key;
+    // netlists or event budgets beyond that layout fall back to the heap
+    // engine, which produces identical results.
+    const bool calendar_fits = pl_.num_edges() < cal_event::k_max_edges &&
+                               options_.max_events < cal_event::k_max_seq / 2;
+    if (options_.queue == queue_kind::binary_heap || !calendar_fits) {
+        run_heap();
+    } else {
+        run_calendar();
     }
     if (waves_stable_ < num_waves_) {
         throw std::runtime_error("pl_simulator: deadlock — " + deadlock_diagnostic());

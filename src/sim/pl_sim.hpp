@@ -20,6 +20,36 @@
 // The simulator doubles as a dynamic checker of the marked-graph theory: a
 // token deposited onto an occupied edge (safety violation) or a deadlock
 // before the run completes (liveness violation) raises an error.
+//
+// ## Two event-queue engines
+//
+// The simulator is the dominant per-circuit cost of a fleet job (the measure
+// phase dwarfs the EE phase), so the hot path exists twice behind
+// sim_options::queue:
+//
+//  * queue_kind::calendar (default) — the throughput engine.  Pending
+//    deposits live in a bucketed timing wheel (calendar_queue.hpp) keyed on
+//    quantized delay-model ticks: O(1) schedule/pop instead of the heap's
+//    O(log n), with 16-byte packed events ([seq|edge|value] in one key) on
+//    an intrusive edge-indexed node pool — no allocation on the hot path.
+//    Token state is structure-of-arrays — a packed presence bitset, a value
+//    bitset and a flat time array — and gate adjacency comes from the CSR
+//    arrays of pl::flat_topology, so a firing walks contiguous id ranges
+//    instead of chasing per-gate std::vector headers.  Per-gate firing
+//    metadata (kind, pin counts, CSR offsets, LUT bits, trigger pin-packing
+//    map) is precomputed into one cache-line-aligned descriptor array.
+//    Netlists beyond the packed-key range (2^24 edges / 2^38 events) fall
+//    back to the heap engine transparently.
+//
+//  * queue_kind::binary_heap — the seed's std::push_heap engine over
+//    array-of-structs token slots, kept as an independent reference
+//    implementation for golden cross-checking.
+//
+// Both engines pop deposits in exactly increasing (time, seq) order, so wave
+// records, stats and traces are bit-identical between them — asserted over
+// the ITC99 suite and every workload preset by tests/test_sim_queue.cpp, and
+// cross-checked at bench time by bench_sim_queue (~3x events/s on the fleet
+// mix, BENCH_sim.json).
 
 #pragma once
 
@@ -27,10 +57,19 @@
 #include <string>
 #include <vector>
 
+#include "plogic/pl_flat.hpp"
 #include "plogic/pl_netlist.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/delay_model.hpp"
 
 namespace plee::sim {
+
+/// Which event-queue engine runs the simulation.  Results are bit-identical
+/// either way; only throughput differs.
+enum class queue_kind : std::uint8_t {
+    binary_heap,  ///< reference engine: std::push_heap over deposit structs
+    calendar,     ///< timing-wheel engine over the SoA/CSR hot path (default)
+};
 
 struct sim_options {
     delay_model delays{};
@@ -40,12 +79,21 @@ struct sim_options {
     /// Verify the EE invariant on every early fire: the trigger value
     /// recomputed from the master's consumed inputs must match the efire
     /// token, and a 1 trigger implies the subset determines the output.
+    /// Affordable by default: the per-master pin-packing map is precomputed,
+    /// so the check is a handful of shifts per EE firing.
     bool check_early_value = true;
     /// Record every data-token arrival for waveform (VCD) export.
     bool collect_trace = false;
     /// Hard limit on processed events (runaway guard).
     std::uint64_t max_events = 100'000'000;
+    /// Event-queue engine selection.
+    queue_kind queue = queue_kind::calendar;
 };
+
+const char* to_string(queue_kind kind);
+/// Accepts "heap" / "binary_heap" and "calendar"; throws
+/// std::invalid_argument for anything else.
+queue_kind queue_kind_from_string(const std::string& name);
 
 /// One recorded token arrival (collect_trace mode).
 struct trace_event {
@@ -100,37 +148,71 @@ private:
         bool value = false;
         double time = 0.0;
     };
-    struct deposit {
-        double time = 0.0;
-        std::uint64_t seq = 0;
-        pl::edge_id edge = pl::k_invalid_edge;
-        bool value = false;
-        bool operator>(const deposit& o) const {
-            return time != o.time ? time > o.time : seq > o.seq;
-        }
+    /// Precomputed per-gate firing metadata: everything try_fire needs,
+    /// gathered from pl_gate / trigger gate / source-sink indices into one
+    /// flat record so the hot path reads a single array.  Cache-line
+    /// aligned: one descriptor never straddles two lines.
+    struct alignas(64) gate_desc {
+        pl::gate_kind kind = pl::gate_kind::compute;
+        std::uint8_t num_data = 0;        ///< LUT operand count
+        std::uint8_t trig_pin_count = 0;  ///< master: trigger support size
+        bool const_value = false;
+        std::uint32_t in_begin = 0, in_end = 0;    ///< topo_.in_flat range
+        std::uint32_t data_begin = 0;              ///< topo_.data_flat offset
+        std::uint32_t out_begin = 0, out_end = 0;  ///< topo_.out_flat range
+        pl::edge_id efire_in = pl::k_invalid_edge;
+        std::uint32_t env_slot = 0;   ///< position in sources() / sinks()
+        std::uint64_t fn_bits = 0;    ///< LUT truth-table bits
+        std::uint64_t trig_fn_bits = 0;  ///< master: trigger function bits
+        /// Master: trigger pin i taps master data pin trig_pins[i] — the
+        /// pin-packing map that replaces bf::support_members at fire time.
+        std::uint8_t trig_pins[6] = {};
     };
 
     void reset();
+    std::string deadlock_diagnostic() const;
+
+    // --- Reference engine (binary heap, AoS token slots) -------------------
+    void run_heap();
     void schedule(pl::edge_id edge, bool value, double time);
     void place(pl::edge_id edge, bool value, double time);
     void try_fire(pl::gate_id g);
     void fire_source(pl::gate_id g);
     void record_sink(pl::gate_id g);
-    std::string deadlock_diagnostic() const;
+
+    // --- Throughput engine (calendar queue, SoA tokens, CSR adjacency) -----
+    void run_calendar();
+    void place_fast(pl::edge_id edge, bool value, double time);
+    void try_fire_fast(pl::gate_id g);
+    void fire_source_fast(pl::gate_id g);
+    void record_sink_fast(pl::gate_id g);
+    bool token_value(pl::edge_id e) const {
+        return (tok_value_[e >> 6] >> (e & 63)) & 1u;
+    }
 
     const pl::pl_netlist& pl_;
     sim_options options_;
     sim_run_stats stats_;
 
-    // Static structure.
-    std::vector<std::size_t> source_index_;  ///< gate -> position in sources()
-    std::vector<std::size_t> sink_index_;    ///< gate -> position in sinks()
+    // Static structure (built once per netlist).
+    pl::flat_topology topo_;
+    std::vector<gate_desc> desc_;
+    std::vector<std::uint32_t> in_count_;  ///< per gate: |in_edges|
 
-    // Per-run state.
-    std::vector<token_slot> tokens_;          ///< per edge
+    // Per-run state — reference engine.
+    std::vector<token_slot> tokens_;  ///< per edge (AoS)
+    std::vector<deposit> heap_;       ///< min-heap via std::push_heap
+
+    // Per-run state — throughput engine.
+    std::vector<std::uint64_t> tok_present_;  ///< presence bitset, per edge
+    std::vector<std::uint64_t> tok_value_;    ///< value bitset, per edge
+    std::vector<double> tok_time_;            ///< arrival time, per edge
+    calendar_queue calendar_;
+
+    // Per-run state — shared.
+    bool trace_on_ = false;  ///< options_.collect_trace, hoisted for place_fast
     std::vector<std::uint32_t> pending_;      ///< per gate: inputs without tokens
     std::vector<std::uint32_t> fired_waves_;  ///< per gate: completed firings
-    std::vector<deposit> heap_;               ///< min-heap via std::push_heap
     std::uint64_t next_seq_ = 0;
 
     std::vector<trace_event> trace_;

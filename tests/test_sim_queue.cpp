@@ -1,0 +1,243 @@
+// Golden cross-check of the two pl_simulator event-queue engines: the
+// binary-heap reference and the calendar/SoA/CSR throughput engine must
+// produce bit-identical wave records, stats and traces on every circuit
+// family — the ITC99 suite and all four workload scenario presets — in
+// pipelined and non-pipelined mode, with trace collection on and off, under
+// stress delay models (tie-heavy, overflow-heavy, all-zero), and through
+// the fleet runner at several thread counts.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/itc99.hpp"
+#include "ee/ee_transform.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "plogic/pl_netlist.hpp"
+#include "runner/runner.hpp"
+#include "sim/measure.hpp"
+#include "sim/pl_sim.hpp"
+#include "workload/workload.hpp"
+
+namespace plee::sim {
+namespace {
+
+struct engine_run {
+    std::vector<wave_record> waves;
+    sim_run_stats stats;
+    std::vector<trace_event> trace;
+};
+
+engine_run simulate(const pl::pl_netlist& pl, queue_kind queue,
+                    bool non_pipelined, bool collect_trace,
+                    const std::vector<std::vector<bool>>& vectors,
+                    const delay_model& delays = {}) {
+    sim_options opts;
+    opts.queue = queue;
+    opts.non_pipelined = non_pipelined;
+    opts.collect_trace = collect_trace;
+    opts.delays = delays;
+    pl_simulator simulator(pl, opts);
+    engine_run run;
+    run.waves = simulator.run(vectors);
+    run.stats = simulator.stats();
+    run.trace = simulator.trace();
+    return run;
+}
+
+/// Bit-identical means exact: outputs, all three timestamps of every wave,
+/// every stats counter, and the full trace (ordering included).
+void expect_identical(const engine_run& heap, const engine_run& cal,
+                      const std::string& label) {
+    ASSERT_EQ(heap.waves.size(), cal.waves.size()) << label;
+    for (std::size_t w = 0; w < heap.waves.size(); ++w) {
+        const wave_record& a = heap.waves[w];
+        const wave_record& b = cal.waves[w];
+        EXPECT_EQ(a.outputs, b.outputs) << label << " wave " << w;
+        EXPECT_EQ(a.release_time, b.release_time) << label << " wave " << w;
+        EXPECT_EQ(a.input_stable, b.input_stable) << label << " wave " << w;
+        EXPECT_EQ(a.output_stable, b.output_stable) << label << " wave " << w;
+    }
+    EXPECT_EQ(heap.stats.events, cal.stats.events) << label;
+    EXPECT_EQ(heap.stats.firings, cal.stats.firings) << label;
+    EXPECT_EQ(heap.stats.ee_hits, cal.stats.ee_hits) << label;
+    EXPECT_EQ(heap.stats.ee_misses, cal.stats.ee_misses) << label;
+    EXPECT_EQ(heap.stats.ee_wins, cal.stats.ee_wins) << label;
+    ASSERT_EQ(heap.trace.size(), cal.trace.size()) << label;
+    for (std::size_t i = 0; i < heap.trace.size(); ++i) {
+        EXPECT_EQ(heap.trace[i].time, cal.trace[i].time) << label << " #" << i;
+        EXPECT_EQ(heap.trace[i].edge, cal.trace[i].edge) << label << " #" << i;
+        EXPECT_EQ(heap.trace[i].value, cal.trace[i].value) << label << " #" << i;
+    }
+}
+
+/// Both engines across all four (pipelined x trace) modes.
+void check_all_modes(const pl::pl_netlist& pl, const std::string& label,
+                     std::size_t num_vectors, const delay_model& delays = {}) {
+    const std::vector<std::vector<bool>> vectors =
+        random_vectors(num_vectors, pl.sources().size(), 0x5eed);
+    for (bool non_pipelined : {true, false}) {
+        for (bool trace : {false, true}) {
+            const std::string mode =
+                label + (non_pipelined ? " non-pipelined" : " pipelined") +
+                (trace ? " trace" : "");
+            expect_identical(simulate(pl, queue_kind::binary_heap, non_pipelined,
+                                      trace, vectors, delays),
+                             simulate(pl, queue_kind::calendar, non_pipelined,
+                                      trace, vectors, delays),
+                             mode);
+        }
+    }
+}
+
+pl::pl_netlist map_with_ee(const nl::netlist& netlist) {
+    pl::map_result mapped = pl::map_to_phased_logic(netlist);
+    ee::apply_early_evaluation(mapped.pl);
+    return std::move(mapped.pl);
+}
+
+TEST(SimQueue, Itc99SuiteBitIdentical) {
+    for (const bench::benchmark_info& info : bench::itc99_suite()) {
+        check_all_modes(map_with_ee(info.build()), info.id, 6);
+    }
+}
+
+TEST(SimQueue, WorkloadPresetsBitIdentical) {
+    for (wl::scenario kind : wl::all_scenarios()) {
+        const nl::netlist netlist =
+            wl::generate(wl::scenario_params(kind, 120, 99));
+        // Plain PL mapping and the EE-transformed circuit both count: the
+        // EE masters exercise the efire path and the invariant checker.
+        check_all_modes(pl::map_to_phased_logic(netlist).pl,
+                        std::string(wl::to_string(kind)) + "/plain", 8);
+        check_all_modes(map_with_ee(netlist),
+                        std::string(wl::to_string(kind)) + "/ee", 8);
+    }
+}
+
+TEST(SimQueue, StressDelayModelsBitIdentical) {
+    const nl::netlist netlist =
+        wl::generate(wl::scenario_params(wl::scenario::random_dag, 80, 7));
+    const pl::pl_netlist pl = map_with_ee(netlist);
+
+    // Tie-heavy: every component equal, so most deposits share times and the
+    // seq tie-break decides the order.
+    delay_model ties;
+    ties.d_celem = ties.d_lut = ties.d_latch = ties.d_ee_penalty =
+        ties.d_source = 1.0;
+    check_all_modes(pl, "ties", 6, ties);
+
+    // Overflow-heavy: a 5e5x spread between the smallest and largest delay
+    // puts every gate deposit far beyond the calendar's ring window, forcing
+    // the overflow-heap path on essentially every push.
+    delay_model spread;
+    spread.d_source = 1e-4;
+    spread.d_lut = 50.0;
+    check_all_modes(pl, "spread", 4, spread);
+
+    // Degenerate all-zero model: bucket width falls back, every event lands
+    // at time 0 on tick 0, and ordering is pure seq.
+    delay_model zero;
+    zero.d_celem = zero.d_lut = zero.d_latch = zero.d_ee_penalty =
+        zero.d_source = 0.0;
+    check_all_modes(pl, "zero", 6, zero);
+}
+
+TEST(SimQueue, EventBudgetExhaustsIdentically) {
+    const pl::pl_netlist pl = map_with_ee(bench::make_b05());
+    const std::vector<std::vector<bool>> vectors =
+        random_vectors(50, pl.sources().size(), 1);
+    for (queue_kind queue : {queue_kind::binary_heap, queue_kind::calendar}) {
+        sim_options opts;
+        opts.queue = queue;
+        opts.max_events = 1000;
+        pl_simulator simulator(pl, opts);
+        EXPECT_THROW(simulator.run(vectors), std::runtime_error)
+            << to_string(queue);
+        // Both engines stop at exactly the budget boundary.
+        EXPECT_EQ(simulator.stats().events, 1001u) << to_string(queue);
+    }
+}
+
+TEST(SimQueue, OversizedEventBudgetFallsBackToHeapEngine) {
+    // max_events beyond the packed-key range silently selects the heap
+    // engine; results are identical either way, so only equality and
+    // completion are observable.
+    const pl::pl_netlist pl = map_with_ee(bench::make_b02());
+    const std::vector<std::vector<bool>> vectors =
+        random_vectors(10, pl.sources().size(), 3);
+    sim_options huge;
+    huge.queue = queue_kind::calendar;
+    huge.max_events = std::uint64_t{1} << 60;
+    pl_simulator fallback(pl, huge);
+    sim_options heap_opts;
+    heap_opts.queue = queue_kind::binary_heap;
+    pl_simulator reference(pl, heap_opts);
+    const std::vector<wave_record> a = fallback.run(vectors);
+    const std::vector<wave_record> b = reference.run(vectors);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        EXPECT_EQ(a[w].outputs, b[w].outputs);
+        EXPECT_EQ(a[w].output_stable, b[w].output_stable);
+    }
+    EXPECT_EQ(fallback.stats().events, reference.stats().events);
+}
+
+TEST(SimQueue, QueueKindStrings) {
+    EXPECT_STREQ(to_string(queue_kind::binary_heap), "heap");
+    EXPECT_STREQ(to_string(queue_kind::calendar), "calendar");
+    EXPECT_EQ(queue_kind_from_string("heap"), queue_kind::binary_heap);
+    EXPECT_EQ(queue_kind_from_string("binary_heap"), queue_kind::binary_heap);
+    EXPECT_EQ(queue_kind_from_string("calendar"), queue_kind::calendar);
+    EXPECT_THROW(queue_kind_from_string("splay"), std::invalid_argument);
+}
+
+TEST(SimQueue, FleetRunsBitIdenticalAcrossEnginesAndThreads) {
+    std::vector<runner::fleet_job> jobs;
+    runner::fleet_job b05;
+    b05.id = "b05";
+    b05.description = "b05";
+    b05.netlist = bench::build_benchmark("b05");
+    jobs.push_back(std::move(b05));
+    for (int i = 0; i < 2; ++i) {
+        runner::fleet_job job;
+        job.id = "w" + std::to_string(i);
+        job.description = job.id;
+        job.netlist = wl::generate(wl::scenario_params(
+            wl::all_scenarios()[static_cast<std::size_t>(i)], 90,
+            40 + static_cast<std::uint64_t>(i)));
+        jobs.push_back(std::move(job));
+    }
+
+    std::vector<runner::fleet_result> fleets;
+    for (queue_kind queue : {queue_kind::binary_heap, queue_kind::calendar}) {
+        for (unsigned threads : {1u, 2u}) {
+            runner::fleet_options opts;
+            opts.num_threads = threads;
+            opts.experiment.measure.num_vectors = 10;
+            opts.experiment.measure.sim.queue = queue;
+            fleets.push_back(runner::run_fleet(jobs, opts));
+        }
+    }
+    const runner::fleet_result& base = fleets.front();
+    EXPECT_GT(base.total_sim_events, 0u);
+    EXPECT_GT(base.sim_events_per_s(), 0.0);
+    for (const runner::fleet_result& other : fleets) {
+        ASSERT_EQ(other.results.size(), base.results.size());
+        EXPECT_EQ(other.total_sim_events, base.total_sim_events);
+        for (std::size_t i = 0; i < base.results.size(); ++i) {
+            EXPECT_EQ(other.results[i].row.delay_no_ee,
+                      base.results[i].row.delay_no_ee);
+            EXPECT_EQ(other.results[i].row.delay_ee,
+                      base.results[i].row.delay_ee);
+            EXPECT_EQ(other.results[i].row.stats_ee.events,
+                      base.results[i].row.stats_ee.events);
+            EXPECT_EQ(other.results[i].row.stats_ee.ee_hits,
+                      base.results[i].row.stats_ee.ee_hits);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace plee::sim

@@ -13,6 +13,8 @@
 //   --seed S       generator + stimulus seed                  (default fixed)
 //   --threads N    worker pool size, 0 = hardware_concurrency (default 0)
 //   --vectors V    random vectors per measurement             (default 20)
+//   --queue Q      simulator event queue: calendar | heap     (default calendar)
+//   --no-check     skip the per-firing EE invariant check in the simulator
 //   --no-share     per-circuit private trigger caches instead of the
 //                  fleet-shared concurrent cache
 //   --json PATH    write the fleet result (summary + rows) as JSON
@@ -40,7 +42,8 @@ void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
                  "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
-                 "       [--no-share] [--json PATH]\n",
+                 "       [--queue calendar|heap] [--no-check] [--no-share]\n"
+                 "       [--json PATH]\n",
                  argv0);
 }
 
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
     unsigned threads = 0;
     std::size_t vectors = 20;
     bool share = true;
+    sim::queue_kind queue = sim::sim_options{}.queue;
+    bool check_early_value = true;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -87,6 +92,17 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--vectors") == 0) {
             if (const char* v = next()) vectors = std::strtoull(v, nullptr, 10);
             else { usage(argv[0]); return 2; }
+        } else if (std::strcmp(argv[i], "--queue") == 0) {
+            const char* v = next();
+            if (v == nullptr) { usage(argv[0]); return 2; }
+            try {
+                queue = sim::queue_kind_from_string(v);
+            } catch (const std::invalid_argument&) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--no-check") == 0) {
+            check_early_value = false;
         } else if (std::strcmp(argv[i], "--no-share") == 0) {
             share = false;
         } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -145,6 +161,8 @@ int main(int argc, char** argv) {
         opts.num_threads = threads;
         opts.share_trigger_cache = share;
         opts.experiment.measure.num_vectors = vectors;
+        opts.experiment.measure.sim.queue = queue;
+        opts.experiment.measure.sim.check_early_value = check_early_value;
         if (seed_given) opts.experiment.measure.seed = seed;
         const runner::fleet_result fleet = runner::run_fleet(jobs, opts);
 
@@ -163,6 +181,11 @@ int main(int argc, char** argv) {
                     "netlists/s, %.0f sweeps/s\n",
                     fleet.results.size(), fleet.threads, fleet.wall_ms,
                     fleet.netlists_per_s(), fleet.sweeps_per_s());
+        std::printf("simulator (%s queue): %llu events in %.0f ms of summed "
+                    "shard time = %.0f events/s per core\n",
+                    sim::to_string(queue),
+                    static_cast<unsigned long long>(fleet.total_sim_events),
+                    fleet.total_sim_wall_ms, fleet.sim_events_per_s());
         std::printf("trigger cache (%s): %.1f%% hit rate, %llu hits / %llu "
                     "misses, %zu entries\n",
                     share ? "fleet-shared" : "per-circuit",

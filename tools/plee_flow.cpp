@@ -13,6 +13,9 @@
 //                      (default 0 = hardware_concurrency; bit-identical
 //                      results at any count)
 //   --seed S           stimulus seed                        (default fixed)
+//   --queue Q          simulator event queue: calendar | heap
+//                      (default calendar; results are bit-identical)
+//   --no-check         skip the per-firing EE invariant check
 //   --dot FILE         write the PL netlist (post-EE) as Graphviz
 //   --vcd FILE         write a token waveform of the measured run
 //   --blif-out FILE    re-export the synchronous netlist as BLIF
@@ -50,6 +53,8 @@ struct cli_options {
     bool apply_ee = true;
     unsigned threads = 0;  // 0 = hardware_concurrency
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    sim::queue_kind queue = sim::sim_options{}.queue;
+    bool check_early_value = true;
     std::string dot_out;
     std::string vcd_out;
     std::string blif_out;
@@ -60,7 +65,8 @@ void usage() {
     std::fprintf(stderr,
                  "usage: plee_flow (--bench bXX | --blif FILE) [--vectors N] "
                  "[--threshold X]\n                 [--method exact|cube] [--no-ee] "
-                 "[--threads N] [--seed S]\n                 [--dot FILE] [--vcd FILE] "
+                 "[--threads N] [--seed S]\n                 [--queue calendar|heap] "
+                 "[--no-check]\n                 [--dot FILE] [--vcd FILE] "
                  "[--blif-out FILE] [--report]\n");
 }
 
@@ -99,6 +105,16 @@ std::optional<cli_options> parse(int argc, char** argv) {
         } else if (arg == "--seed") {
             if (const char* v = next()) o.seed = std::strtoull(v, nullptr, 10);
             else return std::nullopt;
+        } else if (arg == "--queue") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            try {
+                o.queue = sim::queue_kind_from_string(v);
+            } catch (const std::invalid_argument&) {
+                return std::nullopt;
+            }
+        } else if (arg == "--no-check") {
+            o.check_early_value = false;
         } else if (arg == "--dot") {
             if (const char* v = next()) o.dot_out = v; else return std::nullopt;
         } else if (arg == "--vcd") {
@@ -200,12 +216,22 @@ int main(int argc, char** argv) {
         mopts.num_vectors = o.vectors;
         mopts.seed = o.seed;
         mopts.sim.collect_trace = !o.vcd_out.empty();
+        mopts.sim.queue = o.queue;
+        mopts.sim.check_early_value = o.check_early_value;
 
         const sim::measure_result r =
             sim::measure_average_delay(mapped.pl, &netlist, mopts);
         std::printf("simulated %zu vectors: avg delay %.2f ns (min %.2f, max "
                     "%.2f, stddev %.2f), outputs match golden model\n",
                     o.vectors, r.avg_delay, r.min_delay, r.max_delay, r.stddev);
+        std::printf("simulator (%s queue): %llu events in %.1f ms = %.0f "
+                    "events/s\n",
+                    sim::to_string(o.queue),
+                    static_cast<unsigned long long>(r.stats.events),
+                    r.sim_wall_ms,
+                    r.sim_wall_ms > 0.0
+                        ? 1000.0 * static_cast<double>(r.stats.events) / r.sim_wall_ms
+                        : 0.0);
         if (r.stats.ee_hits + r.stats.ee_misses > 0) {
             std::printf("EE firings: %llu hits / %llu misses (%llu strictly "
                         "early outputs)\n",
@@ -219,6 +245,8 @@ int main(int argc, char** argv) {
             // simulator; a short dedicated run keeps the file readable).
             sim::sim_options sopts;
             sopts.collect_trace = true;
+            sopts.queue = o.queue;
+            sopts.check_early_value = o.check_early_value;
             sim::pl_simulator tracer(mapped.pl, sopts);
             tracer.run(sim::random_vectors(std::min<std::size_t>(o.vectors, 10),
                                            mapped.pl.sources().size(), o.seed));
