@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -120,6 +121,35 @@ void bm_exact_trigger_kernel(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_exact_trigger_kernel);
+
+bf::truth_table random_wide_table(int n, std::uint64_t& seed) {
+    bf::tt_words words{};
+    for (int w = 0; w < bf::words_for(n); ++w) words[w] = (seed = mix(seed));
+    return bf::truth_table(n, words);
+}
+
+void bm_trigger_search_lut7(benchmark::State& state) {
+    // The multiword path end-to-end: 7-variable masters sweep all 63+ wide
+    // support subsets through the two-word kernels.
+    std::uint64_t seed = 9;
+    const std::vector<int> arrivals = {0, 1, 2, 3, 4, 5, 6};
+    for (auto _ : state) {
+        const bf::truth_table master = random_wide_table(7, seed);
+        if (master.support_size() < 2) continue;
+        benchmark::DoNotOptimize(ee::find_best_trigger(master, arrivals));
+    }
+}
+BENCHMARK(bm_trigger_search_lut7);
+
+void bm_exact_trigger_kernel_lut8(benchmark::State& state) {
+    // The widest kernel: four-word folds and shrink on an 8-variable master.
+    std::uint64_t seed = 10;
+    for (auto _ : state) {
+        const bf::truth_table master = random_wide_table(8, seed);
+        benchmark::DoNotOptimize(ee::exact_trigger_function(master, 0b10100001));
+    }
+}
+BENCHMARK(bm_exact_trigger_kernel_lut8);
 
 void bm_apply_ee_parallel(benchmark::State& state) {
     const nl::netlist n = bench::build_benchmark("b05");
@@ -240,6 +270,27 @@ void write_json(const json_collector& collected, const std::string& path) {
     if (cword > 0.0 && cscalar > 0.0) {
         derived.set("cube_list_search_speedup_vs_scalar",
                     report::json::number(cscalar / cword));
+    }
+
+    // Fast-path regression row for the multiword truth-table refactor: the
+    // LUT4 exact sweep at the last single-word commit against the current
+    // multiword build.  The baseline is only meaningful when this run uses
+    // the same machine and flags it was measured with, so the row is gated
+    // on the caller supplying it: PLEE_LUT4_BASELINE_NS=<ns> (e.g. 662, the
+    // pre-refactor number behind the committed BENCH_trigger.json).  A
+    // ratio near (or below) 1.0 is the proof the <= 6 variable path still
+    // runs the PR 1 register kernels; CI smoke runs (tiny min_time, other
+    // hardware) leave the variable unset and get no bogus row.
+    const char* baseline_env = std::getenv("PLEE_LUT4_BASELINE_NS");
+    const double baseline_ns = baseline_env != nullptr ? std::atof(baseline_env) : 0.0;
+    if (word > 0.0 && baseline_ns > 0.0) {
+        report::json fast_path = report::json::object();
+        fast_path.set("lut4_exact_ns_before_multiword",
+                      report::json::number(baseline_ns));
+        fast_path.set("lut4_exact_ns_after_multiword", report::json::number(word));
+        fast_path.set("after_over_before",
+                      report::json::number(word / baseline_ns));
+        derived.set("multiword_fast_path", std::move(fast_path));
     }
 
     report::json root = report::json::object();

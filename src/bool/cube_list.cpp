@@ -9,7 +9,7 @@ namespace plee::bf {
 
 cube_list::cube_list(int num_vars) : num_vars_(num_vars) {
     if (num_vars < 0 || num_vars > k_max_vars) {
-        throw std::invalid_argument("cube_list: arity must be in [0, 6]");
+        throw std::invalid_argument("cube_list: arity must be in [0, 8]");
     }
 }
 
@@ -108,24 +108,30 @@ cube_list isop_cover(const truth_table& f) {
 
     // Deterministic greedy covering: repeatedly take the prime covering the
     // most still-uncovered minterms; ties broken by fewest literals, then by
-    // (care, value) ordering for reproducibility.
-    std::uint64_t uncovered = f.bits();
-    auto cube_bits = [n](const cube& c) {
-        std::uint64_t b = 0;
-        for (std::uint32_t m = 0; m < (1u << n); ++m) {
-            if (c.contains(m)) b |= std::uint64_t{1} << m;
+    // (care, value) ordering for reproducibility.  The uncovered set and the
+    // per-prime minterm masks are word arrays; the <= 6-variable case runs
+    // the same single-uint64 loop as pre-multiword (gain is one AND+popcount
+    // on word 0 — words 1..3 of a narrow table are zero by invariant).
+    const int active_words = words_for(n);
+    tt_words uncovered = f.words();
+    auto any_uncovered = [&] {
+        for (int w = 0; w < active_words; ++w) {
+            if (uncovered[w] != 0) return true;
         }
-        return b;
+        return false;
     };
-    std::vector<std::pair<cube, std::uint64_t>> pool;
+    std::vector<std::pair<cube, tt_words>> pool;
     pool.reserve(primes.size());
-    for (const cube& p : primes) pool.emplace_back(p, cube_bits(p));
+    for (const cube& p : primes) pool.emplace_back(p, p.to_truth_table(n).words());
 
-    while (uncovered != 0) {
+    while (any_uncovered()) {
         int best = -1;
         int best_gain = -1;
         for (std::size_t i = 0; i < pool.size(); ++i) {
-            const int gain = std::popcount(pool[i].second & uncovered);
+            int gain = std::popcount(pool[i].second[0] & uncovered[0]);
+            for (int w = 1; w < active_words; ++w) {
+                gain += std::popcount(pool[i].second[w] & uncovered[w]);
+            }
             if (gain > best_gain ||
                 (gain == best_gain && best >= 0 &&
                  (pool[i].first.num_literals() < pool[static_cast<std::size_t>(best)].first.num_literals() ||
@@ -141,7 +147,9 @@ cube_list isop_cover(const truth_table& f) {
             throw std::logic_error("isop_cover: primes fail to cover the ON-set");
         }
         cover.add(pool[static_cast<std::size_t>(best)].first);
-        uncovered &= ~pool[static_cast<std::size_t>(best)].second;
+        for (int w = 0; w < active_words; ++w) {
+            uncovered[w] &= ~pool[static_cast<std::size_t>(best)].second[w];
+        }
     }
 
     if (cover.to_truth_table() != f) {

@@ -52,7 +52,7 @@ private:
 };
 
 /// Quine–McCluskey prime-implicant generation for the ON-set of `f`.
-/// Exact for the <= 6-variable functions used throughout this project.
+/// Exact for the <= 8-variable functions used throughout this project.
 std::vector<cube> prime_implicants(const truth_table& f);
 
 /// Irredundant-ish SOP cover of `f`: all primes generated exactly, then a

@@ -4,7 +4,15 @@
 #include <bit>
 #include <stdexcept>
 
+#include "bool/truth_table.hpp"
+
 namespace plee::bf {
+
+namespace {
+/// The variable space the precomputed table spans — the truth_table arity
+/// limit, so every master a trigger sweep can see has a cached list.
+constexpr int truth_table_space = k_max_vars;
+}  // namespace
 
 std::vector<std::uint32_t> enumerate_support_subsets(std::uint32_t full_support,
                                                      int max_size) {
@@ -26,23 +34,25 @@ std::vector<std::uint32_t> enumerate_support_subsets(std::uint32_t full_support,
 
 const std::vector<std::uint32_t>& cached_support_subsets(
     std::uint32_t full_support, int max_size) {
-    if (full_support >= 64) {
+    if (full_support >= (1u << truth_table_space)) {
         throw std::invalid_argument(
-            "cached_support_subsets: mask outside the 6-variable space");
+            "cached_support_subsets: mask outside the 8-variable space");
     }
-    max_size = std::clamp(max_size, 0, 6);
-    // 64 masks x 7 size limits; built once, thread-safe by magic statics.
+    max_size = std::clamp(max_size, 0, truth_table_space);
+    // 256 masks x 9 size limits; built once, thread-safe by magic statics.
+    constexpr std::uint32_t k_masks = 1u << truth_table_space;
+    constexpr std::uint32_t k_sizes = truth_table_space + 1;
     static const std::vector<std::vector<std::uint32_t>> table = [] {
-        std::vector<std::vector<std::uint32_t>> t(64 * 7);
-        for (std::uint32_t fs = 0; fs < 64; ++fs) {
-            for (int ms = 0; ms <= 6; ++ms) {
-                t[fs * 7 + static_cast<std::uint32_t>(ms)] =
-                    enumerate_support_subsets(fs, ms);
+        std::vector<std::vector<std::uint32_t>> t(k_masks * k_sizes);
+        for (std::uint32_t fs = 0; fs < k_masks; ++fs) {
+            for (std::uint32_t ms = 0; ms < k_sizes; ++ms) {
+                t[fs * k_sizes + ms] =
+                    enumerate_support_subsets(fs, static_cast<int>(ms));
             }
         }
         return t;
     }();
-    return table[full_support * 7 + static_cast<std::uint32_t>(max_size)];
+    return table[full_support * k_sizes + static_cast<std::uint32_t>(max_size)];
 }
 
 std::vector<int> support_members(std::uint32_t support) {

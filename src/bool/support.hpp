@@ -19,10 +19,10 @@ std::vector<std::uint32_t> enumerate_support_subsets(std::uint32_t full_support,
                                                      int max_size);
 
 /// The same subset list served from a process-wide precomputed table — the
-/// per-gate trigger sweep asks for one of at most 64 x 7 possible lists, so
+/// per-gate trigger sweep asks for one of at most 256 x 9 possible lists, so
 /// the netlist-scale pass should not re-enumerate and re-sort per gate.
-/// Requires `full_support` < 64 (the 6-variable space); `max_size` is
-/// clamped to [0, 6].  The reference stays valid for the process lifetime.
+/// Requires `full_support` < 256 (the 8-variable space); `max_size` is
+/// clamped to [0, 8].  The reference stays valid for the process lifetime.
 const std::vector<std::uint32_t>& cached_support_subsets(
     std::uint32_t full_support, int max_size);
 

@@ -9,31 +9,37 @@ namespace {
 
 void check_arity(int num_vars) {
     if (num_vars < 0 || num_vars > k_max_vars) {
-        throw std::invalid_argument("truth_table: arity must be in [0, 6], got " +
+        throw std::invalid_argument("truth_table: arity must be in [0, 8], got " +
                                     std::to_string(num_vars));
     }
 }
 
-/// Masks for exchanging adjacent variables j and j+1 in one shift/mask step
-/// (the ABC PMasks): `keep` holds the rows where the two variables agree,
-/// `up` the rows with (x_j, x_j+1) = (1, 0) — which move up by 2^j — and
-/// `down` the rows with (0, 1), which move down by 2^j.
-struct adjacent_swap_masks {
-    std::uint64_t keep, up, down;
-};
-
-constexpr adjacent_swap_masks k_swap_masks[k_max_vars - 1] = {
-    {0x9999999999999999ull, 0x2222222222222222ull, 0x4444444444444444ull},
-    {0xC3C3C3C3C3C3C3C3ull, 0x0C0C0C0C0C0C0C0Cull, 0x3030303030303030ull},
-    {0xF00FF00FF00FF00Full, 0x00F000F000F000F0ull, 0x0F000F000F000F00ull},
-    {0xFF0000FFFF0000FFull, 0x0000FF000000FF00ull, 0x00FF000000FF0000ull},
-    {0xFFFF00000000FFFFull, 0x00000000FFFF0000ull, 0x0000FFFF00000000ull},
-};
-
-constexpr std::uint64_t swap_adjacent(std::uint64_t bits, int j) {
-    const adjacent_swap_masks& m = k_swap_masks[j];
-    const int s = 1 << j;
-    return (bits & m.keep) | ((bits & m.up) << s) | ((bits & m.down) >> s);
+/// Multiword adjacent-variable exchange.  Three regimes:
+///  * j <= 4 — both variables live inside each word: per-word PMask swap;
+///  * j == 5 — variable 5 is the high half of a word, variable 6 is word-
+///    index bit 0: exchange the high half of each even word with the low
+///    half of its odd partner;
+///  * j >= 6 — both variables are word-index bits: swap the words whose
+///    index bits (j-6, j-5) read (1, 0) with their (0, 1) partners.
+void swap_adjacent(tt_words& x, int j, int nw) {
+    if (j < k_word_vars - 1) {
+        for (int w = 0; w < nw; ++w) x[w] = swap_adjacent_word(x[w], j);
+    } else if (j == k_word_vars - 1) {
+        for (int w = 0; w + 1 < nw; w += 2) {
+            const std::uint64_t lo = x[w];
+            const std::uint64_t hi = x[w + 1];
+            x[w] = (lo & 0x00000000FFFFFFFFull) | (hi << 32);
+            x[w + 1] = (hi & 0xFFFFFFFF00000000ull) | (lo >> 32);
+        }
+    } else {
+        const int lo_bit = 1 << (j - k_word_vars);
+        const int hi_bit = lo_bit << 1;
+        for (int w = 0; w < nw; ++w) {
+            if ((w & lo_bit) != 0 && (w & hi_bit) == 0) {
+                std::swap(x[w], x[w ^ lo_bit ^ hi_bit]);
+            }
+        }
+    }
 }
 
 }  // namespace
@@ -42,22 +48,40 @@ truth_table::truth_table(int num_vars) : num_vars_(num_vars) {
     check_arity(num_vars);
 }
 
-truth_table::truth_table(int num_vars, std::uint64_t bits)
-    : num_vars_(num_vars), bits_(bits) {
+truth_table::truth_table(int num_vars, std::uint64_t bits) : num_vars_(num_vars) {
     check_arity(num_vars);
-    if ((bits & ~full_mask()) != 0) {
+    if ((bits & ~word0_mask()) != 0) {
         throw std::invalid_argument("truth_table: bits set beyond 2^num_vars rows");
+    }
+    words_[0] = bits;
+}
+
+truth_table::truth_table(int num_vars, const tt_words& words)
+    : num_vars_(num_vars), words_(words) {
+    check_arity(num_vars);
+    if ((words_[0] & ~word0_mask()) != 0) {
+        throw std::invalid_argument("truth_table: bits set beyond 2^num_vars rows");
+    }
+    for (int w = num_words(); w < k_num_words; ++w) {
+        if (words_[w] != 0) {
+            throw std::invalid_argument(
+                "truth_table: bits set beyond 2^num_vars rows");
+        }
     }
 }
 
-std::uint64_t truth_table::full_mask() const {
-    const std::uint32_t rows = num_minterms();
-    return rows == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rows) - 1);
+std::uint64_t truth_table::word0_mask() const {
+    if (num_vars_ >= k_word_vars) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << num_minterms()) - 1;
 }
 
 truth_table truth_table::constant(int num_vars, bool value) {
     truth_table t(num_vars);
-    if (value) t.bits_ = t.full_mask();
+    if (value) {
+        const int nw = t.num_words();
+        t.words_[0] = t.word0_mask();
+        for (int w = 1; w < nw; ++w) t.words_[w] = ~std::uint64_t{0};
+    }
     return t;
 }
 
@@ -67,7 +91,16 @@ truth_table truth_table::variable(int num_vars, int var) {
         throw std::invalid_argument("truth_table::variable: index out of range");
     }
     truth_table t(num_vars);
-    t.bits_ = k_var_mask[var] & t.full_mask();
+    const int nw = t.num_words();
+    if (var < k_word_vars) {
+        const std::uint64_t m = k_var_mask[var] & t.word0_mask();
+        for (int w = 0; w < nw; ++w) t.words_[w] = m;
+    } else {
+        const int wb = var - k_word_vars;
+        for (int w = 0; w < nw; ++w) {
+            t.words_[w] = ((w >> wb) & 1) != 0 ? ~std::uint64_t{0} : 0;
+        }
+    }
     return t;
 }
 
@@ -75,7 +108,7 @@ truth_table truth_table::from_function(int num_vars,
                                        const std::function<bool(std::uint32_t)>& fn) {
     truth_table t(num_vars);
     for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
-        if (fn(m)) t.bits_ |= std::uint64_t{1} << m;
+        if (fn(m)) t.words_[m >> k_word_vars] |= std::uint64_t{1} << (m & 63);
     }
     return t;
 }
@@ -89,12 +122,12 @@ truth_table truth_table::from_string(const std::string& rows) {
         }
     }
     if (num_vars < 0) {
-        throw std::invalid_argument("truth_table::from_string: length is not 2^n (n<=6)");
+        throw std::invalid_argument("truth_table::from_string: length is not 2^n (n<=8)");
     }
     truth_table t(num_vars);
     for (std::size_t m = 0; m < rows.size(); ++m) {
         if (rows[m] == '1') {
-            t.bits_ |= std::uint64_t{1} << m;
+            t.words_[m >> k_word_vars] |= std::uint64_t{1} << (m & 63);
         } else if (rows[m] != '0') {
             throw std::invalid_argument("truth_table::from_string: invalid character");
         }
@@ -106,32 +139,64 @@ bool truth_table::eval(std::uint32_t minterm) const {
     if (minterm >= num_minterms()) {
         throw std::out_of_range("truth_table::eval: minterm out of range");
     }
-    return (bits_ >> minterm) & 1u;
+    return (words_[minterm >> k_word_vars] >> (minterm & 63)) & 1u;
 }
 
 void truth_table::set(std::uint32_t minterm, bool value) {
     if (minterm >= num_minterms()) {
         throw std::out_of_range("truth_table::set: minterm out of range");
     }
+    const std::uint64_t bit = std::uint64_t{1} << (minterm & 63);
     if (value) {
-        bits_ |= std::uint64_t{1} << minterm;
+        words_[minterm >> k_word_vars] |= bit;
     } else {
-        bits_ &= ~(std::uint64_t{1} << minterm);
+        words_[minterm >> k_word_vars] &= ~bit;
     }
 }
 
-int truth_table::count_ones() const { return std::popcount(bits_); }
+int truth_table::count_ones() const {
+    int ones = std::popcount(words_[0]);
+    for (int w = 1; w < num_words(); ++w) ones += std::popcount(words_[w]);
+    return ones;
+}
 
-bool truth_table::is_constant_zero() const { return bits_ == 0; }
+bool truth_table::is_constant_zero() const {
+    for (int w = 0; w < num_words(); ++w) {
+        if (words_[w] != 0) return false;
+    }
+    return true;
+}
 
-bool truth_table::is_constant_one() const { return bits_ == full_mask(); }
+bool truth_table::is_constant_one() const {
+    if (words_[0] != word0_mask()) return false;
+    for (int w = 1; w < num_words(); ++w) {
+        if (words_[w] != ~std::uint64_t{0}) return false;
+    }
+    return true;
+}
 
 bool truth_table::depends_on(int var) const {
     if (var < 0 || var >= num_vars_) return false;
-    // Align each x_var=1 row onto its x_var=0 partner; any XOR difference in
-    // the low half means the two cofactors disagree somewhere.
-    const int s = 1 << var;
-    return ((bits_ ^ (bits_ >> s)) & ~k_var_mask[var] & full_mask()) != 0;
+    if (var < k_word_vars) {
+        // Align each x_var=1 row onto its x_var=0 partner; any XOR
+        // difference in the low half means the two cofactors disagree.
+        const int s = 1 << var;
+        const std::uint64_t half = ~k_var_mask[var];
+        if (num_vars_ <= k_word_vars) {
+            return ((words_[0] ^ (words_[0] >> s)) & half & word0_mask()) != 0;
+        }
+        const int nw = num_words();
+        for (int w = 0; w < nw; ++w) {
+            if (((words_[w] ^ (words_[w] >> s)) & half) != 0) return true;
+        }
+        return false;
+    }
+    const int ws = 1 << (var - k_word_vars);
+    const int nw = num_words();
+    for (int w = 0; w < nw; ++w) {
+        if ((w & ws) == 0 && words_[w] != words_[w | ws]) return true;
+    }
+    return false;
 }
 
 std::uint32_t truth_table::support_mask() const {
@@ -148,36 +213,89 @@ truth_table truth_table::cofactor(int var, bool value) const {
     if (var < 0 || var >= num_vars_) {
         throw std::invalid_argument("truth_table::cofactor: index out of range");
     }
-    const std::uint64_t m = k_var_mask[var];
-    const int s = 1 << var;
-    std::uint64_t x;
-    if (value) {
-        x = bits_ & m;
-        x |= x >> s;
-    } else {
-        x = bits_ & ~m;
-        x |= x << s;
-    }
     truth_table t(num_vars_);
-    t.bits_ = x & full_mask();
+    if (var < k_word_vars) {
+        const std::uint64_t m = k_var_mask[var];
+        const int s = 1 << var;
+        if (num_vars_ <= k_word_vars) {
+            std::uint64_t x;
+            if (value) {
+                x = words_[0] & m;
+                x |= x >> s;
+            } else {
+                x = words_[0] & ~m;
+                x |= x << s;
+            }
+            t.words_[0] = x & word0_mask();
+            return t;
+        }
+        const int nw = num_words();
+        for (int w = 0; w < nw; ++w) {
+            std::uint64_t x;
+            if (value) {
+                x = words_[w] & m;
+                x |= x >> s;
+            } else {
+                x = words_[w] & ~m;
+                x |= x << s;
+            }
+            t.words_[w] = x;
+        }
+        return t;
+    }
+    const int ws = 1 << (var - k_word_vars);
+    const int nw = num_words();
+    for (int w = 0; w < nw; ++w) {
+        t.words_[w] = words_[value ? (w | ws) : (w & ~ws)];
+    }
     return t;
 }
 
 truth_table truth_table::fold_free_vars(std::uint32_t support,
                                         bool conjunctive) const {
-    std::uint64_t x = bits_;
+    if (num_vars_ <= k_word_vars) {
+        std::uint64_t x = words_[0];
+        for (int v = 0; v < num_vars_; ++v) {
+            if ((support >> v) & 1u) continue;
+            const std::uint64_t m = k_var_mask[v];
+            const int s = 1 << v;
+            std::uint64_t lo = x & ~m;
+            lo |= lo << s;
+            std::uint64_t hi = x & m;
+            hi |= hi >> s;
+            x = conjunctive ? (lo & hi) : (lo | hi);
+        }
+        truth_table t(num_vars_);
+        t.words_[0] = x & word0_mask();
+        return t;
+    }
+    tt_words x = words_;
+    const int nw = num_words();
     for (int v = 0; v < num_vars_; ++v) {
         if ((support >> v) & 1u) continue;
-        const std::uint64_t m = k_var_mask[v];
-        const int s = 1 << v;
-        std::uint64_t lo = x & ~m;
-        lo |= lo << s;
-        std::uint64_t hi = x & m;
-        hi |= hi >> s;
-        x = conjunctive ? (lo & hi) : (lo | hi);
+        if (v < k_word_vars) {
+            const std::uint64_t m = k_var_mask[v];
+            const int s = 1 << v;
+            for (int w = 0; w < nw; ++w) {
+                std::uint64_t lo = x[w] & ~m;
+                lo |= lo << s;
+                std::uint64_t hi = x[w] & m;
+                hi |= hi >> s;
+                x[w] = conjunctive ? (lo & hi) : (lo | hi);
+            }
+        } else {
+            const int ws = 1 << (v - k_word_vars);
+            for (int w = 0; w < nw; ++w) {
+                if ((w & ws) != 0) continue;
+                const std::uint64_t r = conjunctive ? (x[w] & x[w | ws])
+                                                    : (x[w] | x[w | ws]);
+                x[w] = r;
+                x[w | ws] = r;
+            }
+        }
     }
     truth_table t(num_vars_);
-    t.bits_ = x & full_mask();
+    t.words_ = x;
     return t;
 }
 
@@ -187,15 +305,31 @@ truth_table truth_table::shrink_to(std::uint32_t support) const {
     }
     // Sink each support variable to the bottom of the index space (stable,
     // ascending) with adjacent-variable swaps, then truncate to 2^k rows.
-    std::uint64_t x = bits_;
+    if (num_vars_ <= k_word_vars) {
+        // Single-word fast path: the whole compaction runs in one register.
+        std::uint64_t x = words_[0];
+        int target = 0;
+        for (int v = 0; v < num_vars_; ++v) {
+            if (!((support >> v) & 1u)) continue;
+            for (int j = v - 1; j >= target; --j) x = swap_adjacent_word(x, j);
+            ++target;
+        }
+        truth_table t(target);
+        t.words_[0] = x & t.word0_mask();
+        return t;
+    }
+    tt_words x = words_;
+    const int nw = num_words();
     int target = 0;
     for (int v = 0; v < num_vars_; ++v) {
         if (!((support >> v) & 1u)) continue;
-        for (int j = v - 1; j >= target; --j) x = swap_adjacent(x, j);
+        for (int j = v - 1; j >= target; --j) swap_adjacent(x, j, nw);
         ++target;
     }
     truth_table t(target);
-    t.bits_ = x & t.full_mask();
+    const int tw = t.num_words();
+    for (int w = 0; w < tw; ++w) t.words_[w] = x[w];
+    t.words_[0] &= t.word0_mask();
     return t;
 }
 
@@ -209,18 +343,27 @@ truth_table truth_table::expand_onto(std::uint32_t support, int num_vars) const 
     }
     // Vacuously widen, then float each variable up to its support position
     // (highest first so already-placed variables stay put).
-    std::uint64_t x = bits_;
-    for (int v = num_vars_; v < num_vars; ++v) x |= x << (1 << v);
+    tt_words x = words_;
+    const int nw = words_for(num_vars);
+    for (int v = num_vars_; v < num_vars; ++v) {
+        if (v < k_word_vars) {
+            x[0] |= x[0] << (1 << v);
+        } else {
+            const int ws = 1 << (v - k_word_vars);
+            for (int w = 0; w < ws; ++w) x[w + ws] = x[w];
+        }
+    }
     int member[k_max_vars] = {};
     int k = 0;
     for (int v = 0; v < num_vars; ++v) {
         if ((support >> v) & 1u) member[k++] = v;
     }
     for (int i = k - 1; i >= 0; --i) {
-        for (int j = i; j < member[i]; ++j) x = swap_adjacent(x, j);
+        for (int j = i; j < member[i]; ++j) swap_adjacent(x, j, nw);
     }
     truth_table t(num_vars);
-    t.bits_ = x & t.full_mask();
+    for (int w = 0; w < nw; ++w) t.words_[w] = x[w];
+    t.words_[0] &= t.word0_mask();
     return t;
 }
 
@@ -229,10 +372,19 @@ truth_table truth_table::expand(int new_num_vars) const {
     if (new_num_vars < num_vars_) {
         throw std::invalid_argument("truth_table::expand: cannot shrink arity");
     }
-    std::uint64_t x = bits_;
-    for (int v = num_vars_; v < new_num_vars; ++v) x |= x << (1 << v);
+    tt_words x = words_;
+    for (int v = num_vars_; v < new_num_vars; ++v) {
+        if (v < k_word_vars) {
+            x[0] |= x[0] << (1 << v);
+        } else {
+            const int ws = 1 << (v - k_word_vars);
+            for (int w = 0; w < ws; ++w) x[w + ws] = x[w];
+        }
+    }
     truth_table t(new_num_vars);
-    t.bits_ = x & t.full_mask();
+    const int nw = t.num_words();
+    for (int w = 0; w < nw; ++w) t.words_[w] = x[w];
+    t.words_[0] &= t.word0_mask();
     return t;
 }
 
@@ -242,21 +394,36 @@ truth_table truth_table::permute(const std::vector<int>& perm) const {
     }
     // Bubble the variables into place with adjacent swaps: position p
     // currently holds original variable cur[p], which must end up at
-    // position perm[cur[p]].  O(n^2) word swaps, n <= 6.
+    // position perm[cur[p]].  O(n^2) word swaps, n <= 8.
     int cur[k_max_vars];
     for (int v = 0; v < num_vars_; ++v) cur[v] = v;
-    std::uint64_t x = bits_;
+    truth_table t(num_vars_);
+    if (num_vars_ <= k_word_vars) {
+        std::uint64_t x = words_[0];
+        for (int pass = 0; pass < num_vars_; ++pass) {
+            for (int p = 0; p + 1 < num_vars_; ++p) {
+                if (perm[static_cast<std::size_t>(cur[p])] >
+                    perm[static_cast<std::size_t>(cur[p + 1])]) {
+                    std::swap(cur[p], cur[p + 1]);
+                    x = swap_adjacent_word(x, p);
+                }
+            }
+        }
+        t.words_[0] = x & word0_mask();
+        return t;
+    }
+    tt_words x = words_;
+    const int nw = num_words();
     for (int pass = 0; pass < num_vars_; ++pass) {
         for (int p = 0; p + 1 < num_vars_; ++p) {
             if (perm[static_cast<std::size_t>(cur[p])] >
                 perm[static_cast<std::size_t>(cur[p + 1])]) {
                 std::swap(cur[p], cur[p + 1]);
-                x = swap_adjacent(x, p);
+                swap_adjacent(x, p, nw);
             }
         }
     }
-    truth_table t(num_vars_);
-    t.bits_ = x & full_mask();
+    t.words_ = x;
     return t;
 }
 
@@ -264,22 +431,50 @@ truth_table truth_table::negate_inputs(std::uint32_t mask) const {
     if ((mask >> num_vars_) != 0) {
         throw std::invalid_argument("truth_table::negate_inputs: mask outside arity");
     }
-    // g[i] = f[i ^ mask]: for each negated variable, exchange the x_v=0 and
-    // x_v=1 halves of the table.
-    std::uint64_t x = bits_;
+    // g[i] = f[i ^ mask]: for each negated in-word variable, exchange the
+    // x_v=0 and x_v=1 halves of every word; for each negated word-index
+    // variable, exchange the word pairs it separates.
+    if (num_vars_ <= k_word_vars) {
+        std::uint64_t x = words_[0];
+        for (std::uint32_t rest = mask; rest != 0; rest &= rest - 1) {
+            const int v = std::countr_zero(rest);
+            const std::uint64_t m = k_var_mask[v];
+            const int s = 1 << v;
+            x = ((x & m) >> s) | ((x << s) & m);
+        }
+        truth_table t(num_vars_);
+        t.words_[0] = x & word0_mask();
+        return t;
+    }
+    tt_words x = words_;
+    const int nw = num_words();
     for (std::uint32_t rest = mask; rest != 0; rest &= rest - 1) {
         const int v = std::countr_zero(rest);
-        const std::uint64_t m = k_var_mask[v];
-        const int s = 1 << v;
-        x = ((x & m) >> s) | ((x << s) & m);
+        if (v < k_word_vars) {
+            const std::uint64_t m = k_var_mask[v];
+            const int s = 1 << v;
+            for (int w = 0; w < nw; ++w) {
+                x[w] = ((x[w] & m) >> s) | ((x[w] << s) & m);
+            }
+        } else {
+            const int ws = 1 << (v - k_word_vars);
+            for (int w = 0; w < nw; ++w) {
+                if ((w & ws) == 0) std::swap(x[w], x[w | ws]);
+            }
+        }
     }
     truth_table t(num_vars_);
-    t.bits_ = x & full_mask();
+    t.words_ = x;
+    t.words_[0] &= t.word0_mask();
     return t;
 }
 
 truth_table truth_table::operator~() const {
-    return truth_table(num_vars_, ~bits_ & full_mask());
+    truth_table t(num_vars_);
+    const int nw = num_words();
+    for (int w = 0; w < nw; ++w) t.words_[w] = ~words_[w];
+    t.words_[0] &= word0_mask();
+    return t;
 }
 
 namespace {
@@ -292,17 +487,23 @@ void check_same_arity(const truth_table& a, const truth_table& b) {
 
 truth_table truth_table::operator&(const truth_table& other) const {
     check_same_arity(*this, other);
-    return truth_table(num_vars_, bits_ & other.bits_);
+    truth_table t(num_vars_);
+    for (int w = 0; w < k_num_words; ++w) t.words_[w] = words_[w] & other.words_[w];
+    return t;
 }
 
 truth_table truth_table::operator|(const truth_table& other) const {
     check_same_arity(*this, other);
-    return truth_table(num_vars_, bits_ | other.bits_);
+    truth_table t(num_vars_);
+    for (int w = 0; w < k_num_words; ++w) t.words_[w] = words_[w] | other.words_[w];
+    return t;
 }
 
 truth_table truth_table::operator^(const truth_table& other) const {
     check_same_arity(*this, other);
-    return truth_table(num_vars_, bits_ ^ other.bits_);
+    truth_table t(num_vars_);
+    for (int w = 0; w < k_num_words; ++w) t.words_[w] = words_[w] ^ other.words_[w];
+    return t;
 }
 
 std::string truth_table::to_string() const {

@@ -1,19 +1,24 @@
-// truth_table.hpp — dense complete Boolean functions over up to 6 variables.
+// truth_table.hpp — dense complete Boolean functions over up to 8 variables.
 //
 // The Early Evaluation algorithm of Thornton et al. (DATE 2002) operates on
 // LUT4 gate functions: every Phased Logic gate computes a Boolean function of
-// at most four inputs.  A dense truth table in a single 64-bit word is the
-// natural exact representation at that scale; it also covers the 5- and
-// 6-input helper functions the synthesis front-end manipulates before
-// technology mapping.
+// at most four inputs.  A dense truth table is the natural exact
+// representation at that scale, and the generalized-EE formulation the paper
+// builds on is arity-independent — so the representation is a fixed word
+// array: one 64-bit word covers every function of up to 6 variables (the
+// LUT4 configuration mask lives in the low 16 bits of word 0, exactly as
+// before), and 7- and 8-variable functions span 2 and 4 words.  Every kernel
+// keeps a single-word fast path for the ≤6-variable case, so the word-
+// parallel trigger search pays nothing for the generalization.
 //
-// Variable convention: bit v of a minterm index holds the value of variable v,
-// i.e. minterm m assigns variable v the value (m >> v) & 1.  A 4-variable
-// truth table's low 16 bits therefore coincide with the LUT4 configuration
-// mask used throughout the netlist and phased-logic layers.
+// Variable convention: bit v of a minterm index holds the value of variable
+// v, i.e. minterm m assigns variable v the value (m >> v) & 1.  Minterm m
+// lives in bit (m & 63) of word (m >> 6): variables 0..5 select a bit inside
+// a word, variables 6..7 select the word.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -21,18 +26,59 @@
 
 namespace plee::bf {
 
-/// Maximum variable count representable by truth_table (64 = 2^6 rows).
-inline constexpr int k_max_vars = 6;
+/// Variables resolved inside one 64-bit word (64 = 2^6 rows).
+inline constexpr int k_word_vars = 6;
+/// Maximum variable count representable by truth_table (256 = 2^8 rows).
+inline constexpr int k_max_vars = 8;
+/// Words spanned by a full-width (k_max_vars) table.
+inline constexpr int k_num_words = 1 << (k_max_vars - k_word_vars);
 
-/// Dense projection tables over the full 6-variable space (ABC's s_Truths6):
-/// bit m of k_var_mask[v] is (m >> v) & 1, i.e. the truth table of x_v.
-/// Restricting to the low 2^n rows gives the same projection over n
-/// variables, which is what turns every per-variable operation below into a
-/// handful of shift/AND/popcount word instructions instead of a 2^n loop.
-inline constexpr std::uint64_t k_var_mask[k_max_vars] = {
+/// The raw storage of a truth table: minterm m is bit (m & 63) of word
+/// (m >> 6).  Words beyond the active count and bits beyond 2^num_vars are
+/// kept zero, so equality and hashing work on the plain array.
+using tt_words = std::array<std::uint64_t, k_num_words>;
+
+/// Words actually used by an `num_vars`-variable table (1 for <= 6 vars).
+constexpr int words_for(int num_vars) {
+    return num_vars <= k_word_vars ? 1 : 1 << (num_vars - k_word_vars);
+}
+
+/// Dense projection tables for the in-word variables over the full
+/// 6-variable word (ABC's s_Truths6): bit m of k_var_mask[v] is (m >> v) & 1,
+/// i.e. the truth table of x_v.  The same masks project variables 0..5 inside
+/// every word of a multiword table; variables >= 6 are constant per word
+/// (word w assigns variable 6+j the value (w >> j) & 1), which is what keeps
+/// every per-variable operation below a handful of shift/AND/copy word
+/// instructions instead of a 2^n loop.
+inline constexpr std::uint64_t k_var_mask[k_word_vars] = {
     0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
     0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
 };
+
+/// Masks for exchanging adjacent in-word variables j and j+1 in one
+/// shift/mask step (the ABC PMasks): `keep` holds the rows where the two
+/// variables agree, `up` the rows with (x_j, x_j+1) = (1, 0) — which move up
+/// by 2^j — and `down` the rows with (0, 1), which move down by 2^j.
+/// Exposed inline so single-word callers (the trigger-search fast path) can
+/// run the swap entirely in registers.
+struct adjacent_swap_masks {
+    std::uint64_t keep, up, down;
+};
+
+inline constexpr adjacent_swap_masks k_swap_masks[k_word_vars - 1] = {
+    {0x9999999999999999ull, 0x2222222222222222ull, 0x4444444444444444ull},
+    {0xC3C3C3C3C3C3C3C3ull, 0x0C0C0C0C0C0C0C0Cull, 0x3030303030303030ull},
+    {0xF00FF00FF00FF00Full, 0x00F000F000F000F0ull, 0x0F000F000F000F00ull},
+    {0xFF0000FFFF0000FFull, 0x0000FF000000FF00ull, 0x00FF000000FF0000ull},
+    {0xFFFF00000000FFFFull, 0x00000000FFFF0000ull, 0x0000FFFF00000000ull},
+};
+
+/// Exchanges adjacent variables j and j+1 (both < 6) within one word.
+constexpr std::uint64_t swap_adjacent_word(std::uint64_t bits, int j) {
+    const adjacent_swap_masks& m = k_swap_masks[j];
+    const int s = 1 << j;
+    return (bits & m.keep) | ((bits & m.up) << s) | ((bits & m.down) >> s);
+}
 
 /// A complete Boolean function of `num_vars()` variables stored as a bitmask
 /// over all 2^n minterms.  Immutable-style value type: all algebraic
@@ -43,9 +89,14 @@ public:
     /// `num_vars` must be in [0, k_max_vars].
     explicit truth_table(int num_vars);
 
-    /// Constructs from an explicit minterm bitmask; bits above 2^num_vars
-    /// must be zero (checked).
+    /// Constructs from an explicit minterm bitmask over word 0; bits above
+    /// 2^num_vars must be zero (checked).  For > 6 variables this fills the
+    /// low 64 rows and leaves the remaining words zero.
     truth_table(int num_vars, std::uint64_t bits);
+
+    /// Constructs from the full word array; bits beyond 2^num_vars rows must
+    /// be zero (checked).
+    truth_table(int num_vars, const tt_words& words);
 
     /// The constant function of the given arity.
     static truth_table constant(int num_vars, bool value);
@@ -62,7 +113,13 @@ public:
     static truth_table from_string(const std::string& rows);
 
     int num_vars() const { return num_vars_; }
-    std::uint64_t bits() const { return bits_; }
+    /// Word 0 of the storage — the complete function for <= 6 variables (and
+    /// the LUT4 mask in its low 16 bits), the low 64 rows otherwise.
+    std::uint64_t bits() const { return words_[0]; }
+    /// The full storage; words beyond num_words() are zero by invariant.
+    const tt_words& words() const { return words_; }
+    std::uint64_t word(int w) const { return words_[static_cast<std::size_t>(w)]; }
+    int num_words() const { return words_for(num_vars_); }
     std::uint32_t num_minterms() const { return 1u << num_vars_; }
 
     bool eval(std::uint32_t minterm) const;
@@ -119,9 +176,9 @@ public:
     truth_table permute(const std::vector<int>& perm) const;
 
     /// Negates the inputs selected by `mask`: the result g satisfies
-    /// g(x) = f(x ^ mask).  One half-swap per set bit — this is the word
-    /// kernel behind NPN canonicalization.  `mask` must lie within the
-    /// variable range.
+    /// g(x) = f(x ^ mask).  One half-swap (or word exchange) per set bit —
+    /// this is the word kernel behind NPN canonicalization.  `mask` must lie
+    /// within the variable range.
     truth_table negate_inputs(std::uint32_t mask) const;
 
     truth_table operator~() const;
@@ -135,10 +192,10 @@ public:
     std::string to_string() const;
 
 private:
-    std::uint64_t full_mask() const;
+    std::uint64_t word0_mask() const;
 
     int num_vars_ = 0;
-    std::uint64_t bits_ = 0;
+    tt_words words_{};
 };
 
 }  // namespace plee::bf

@@ -14,16 +14,20 @@ bf::truth_table concurrent_trigger_cache::exact(const bf::truth_table& master,
     // functions land on different shards and proceed in parallel.
     trigger_cache::canonical_form cf;
     {
-        const fn_key fk{master.bits(), n};
+        const fn_key fk{master.words(), n};
         fn_shard& shard = fn_shards_[fn_hash{}(fk) % k_num_shards];
         const std::lock_guard<std::mutex> lock(shard.mu);
         auto it = shard.map.find(fk);
         if (it == shard.map.end()) {
-            it = shard.map
-                     .emplace(fk, mode_ == canon_mode::npn
-                                      ? trigger_cache::npn_canonicalize(master)
-                                      : trigger_cache::canonicalize(master))
-                     .first;
+            // Same wide-master policy as trigger_cache::exact: > 6 variables
+            // memoize on concrete bits (identity form) instead of paying the
+            // exhaustive orbit sweep inside the shard lock.
+            const trigger_cache::canonical_form fresh =
+                n > bf::k_word_vars ? trigger_cache::identity_form(master)
+                : mode_ == canon_mode::npn
+                    ? trigger_cache::npn_canonicalize(master)
+                    : trigger_cache::canonicalize(master);
+            it = shard.map.emplace(fk, fresh).first;
         }
         cf = it->second;
     }

@@ -58,7 +58,7 @@ public:
 
 private:
     struct fn_key {
-        std::uint64_t bits;
+        bf::tt_words bits;
         int num_vars;
         bool operator==(const fn_key&) const = default;
     };
@@ -68,7 +68,7 @@ private:
         }
     };
     struct trig_key {
-        std::uint64_t bits;
+        bf::tt_words bits;
         std::uint32_t support;
         int num_vars;
         bool operator==(const trig_key&) const = default;

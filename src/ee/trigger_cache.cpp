@@ -21,28 +21,80 @@ void record_perm(trigger_cache::canonical_form& form, const std::vector<int>& pe
     }
 }
 
+/// 2^n-bit integer order on table storage: most-significant active word
+/// decides.  For <= 6 variables (one active word) this is exactly the
+/// single-word `<` the canonical forms used before multiword tables.
+bool words_less(const bf::tt_words& a, const bf::tt_words& b, int active_words) {
+    for (int w = active_words - 1; w >= 0; --w) {
+        if (a[w] != b[w]) return a[w] < b[w];
+    }
+    return false;
+}
+
+/// Single-word variable permutation — the canonical sweeps below run it in
+/// a register instead of round-tripping 4-word truth_table temporaries per
+/// variant (24 variants for P, 768 for NPN, per first-seen LUT4 function).
+std::uint64_t permute_word(std::uint64_t bits, int n, const std::vector<int>& perm) {
+    int cur[bf::k_word_vars];
+    for (int v = 0; v < n; ++v) cur[v] = v;
+    for (int pass = 0; pass < n; ++pass) {
+        for (int p = 0; p + 1 < n; ++p) {
+            if (perm[static_cast<std::size_t>(cur[p])] >
+                perm[static_cast<std::size_t>(cur[p + 1])]) {
+                std::swap(cur[p], cur[p + 1]);
+                bits = bf::swap_adjacent_word(bits, p);
+            }
+        }
+    }
+    return bits;
+}
+
 }  // namespace
+
+std::uint64_t trigger_cache::mix_key(const bf::tt_words& bits,
+                                     std::uint32_t support, int num_vars) {
+    // Chain the finalizer through every active word, low word last, so a
+    // single-word function hashes exactly as the pre-multiword
+    // splitmix64(bits ^ splitmix64(support<<8 | n)) did.
+    std::uint64_t h = splitmix64((static_cast<std::uint64_t>(support) << 8) |
+                                 static_cast<std::uint64_t>(num_vars));
+    for (int w = bf::words_for(num_vars) - 1; w >= 0; --w) {
+        h = splitmix64(bits[w] ^ h);
+    }
+    return h;
+}
 
 std::uint64_t trigger_cache::mix_key(std::uint64_t bits, std::uint32_t support,
                                      int num_vars) {
-    return splitmix64(bits ^ splitmix64((static_cast<std::uint64_t>(support) << 8) |
-                                        static_cast<std::uint64_t>(num_vars)));
+    return mix_key(bf::tt_words{bits, 0, 0, 0}, support, num_vars);
 }
 
 trigger_cache::canonical_form trigger_cache::canonicalize(const bf::truth_table& f) {
     const int n = f.num_vars();
+    const int nw = f.num_words();
     std::vector<int> perm(static_cast<std::size_t>(n));
     std::iota(perm.begin(), perm.end(), 0);
 
     canonical_form best;
-    best.bits = f.bits();
+    best.bits = f.words();
     record_perm(best, perm);
 
     // next_permutation enumerates in ascending lexicographic order, so with
     // a strict < the first permutation reaching the minimum wins the tie.
+    if (n <= bf::k_word_vars) {
+        // Single-word sweep, all in registers.
+        while (std::next_permutation(perm.begin(), perm.end())) {
+            const std::uint64_t bits = permute_word(f.bits(), n, perm);
+            if (bits < best.bits[0]) {
+                best.bits[0] = bits;
+                record_perm(best, perm);
+            }
+        }
+        return best;
+    }
     while (std::next_permutation(perm.begin(), perm.end())) {
-        const std::uint64_t bits = f.permute(perm).bits();
-        if (bits < best.bits) {
+        const bf::tt_words bits = f.permute(perm).words();
+        if (words_less(bits, best.bits, nw)) {
             best.bits = bits;
             record_perm(best, perm);
         }
@@ -53,10 +105,11 @@ trigger_cache::canonical_form trigger_cache::canonicalize(const bf::truth_table&
 trigger_cache::canonical_form trigger_cache::npn_canonicalize(
     const bf::truth_table& f) {
     const int n = f.num_vars();
+    const int nw = f.num_words();
     std::vector<int> perm(static_cast<std::size_t>(n));
 
     canonical_form best;
-    best.bits = f.bits();
+    best.bits = f.words();
     std::iota(perm.begin(), perm.end(), 0);
     record_perm(best, perm);
 
@@ -67,10 +120,25 @@ trigger_cache::canonical_form trigger_cache::npn_canonicalize(
         for (std::uint32_t neg = 0; neg < (1u << n); ++neg) {
             bf::truth_table h = f.negate_inputs(neg);
             if (out != 0) h = ~h;
+            if (n <= bf::k_word_vars) {
+                // Single-word sweep, all in registers.
+                const std::uint64_t base = h.bits();
+                std::iota(perm.begin(), perm.end(), 0);
+                do {
+                    const std::uint64_t bits = permute_word(base, n, perm);
+                    if (bits < best.bits[0]) {
+                        best.bits[0] = bits;
+                        best.input_neg = neg;
+                        best.output_neg = out != 0;
+                        record_perm(best, perm);
+                    }
+                } while (std::next_permutation(perm.begin(), perm.end()));
+                continue;
+            }
             std::iota(perm.begin(), perm.end(), 0);
             do {
-                const std::uint64_t bits = h.permute(perm).bits();
-                if (bits < best.bits) {
+                const bf::tt_words bits = h.permute(perm).words();
+                if (words_less(bits, best.bits, nw)) {
                     best.bits = bits;
                     best.input_neg = neg;
                     best.output_neg = out != 0;
@@ -80,6 +148,16 @@ trigger_cache::canonical_form trigger_cache::npn_canonicalize(
         }
     }
     return best;
+}
+
+trigger_cache::canonical_form trigger_cache::identity_form(
+    const bf::truth_table& f) {
+    canonical_form cf;
+    cf.bits = f.words();
+    for (int v = 0; v < f.num_vars(); ++v) {
+        cf.perm[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(v);
+    }
+    return cf;
 }
 
 std::uint32_t trigger_cache::canonical_support(const canonical_form& form,
@@ -125,13 +203,17 @@ bf::truth_table trigger_cache::exact(const bf::truth_table& master,
                                      std::uint32_t support) {
     const int n = master.num_vars();
 
-    const key ck{master.bits(), 0, n};
+    const key ck{master.words(), 0, n};
     auto cit = canon_memo_.find(ck);
     if (cit == canon_memo_.end()) {
-        cit = canon_memo_
-                  .emplace(ck, mode_ == canon_mode::npn ? npn_canonicalize(master)
-                                                        : canonicalize(master))
-                  .first;
+        // Masters wider than 6 variables skip the exhaustive orbit sweep
+        // (n! * 2^(n+1) variants is a cold-start wall at LUT8 scale) and
+        // memoize on concrete bits; see identity_form().
+        const canonical_form cf = n > bf::k_word_vars ? identity_form(master)
+                                  : mode_ == canon_mode::npn
+                                      ? npn_canonicalize(master)
+                                      : canonicalize(master);
+        cit = canon_memo_.emplace(ck, cf).first;
     }
     const canonical_form& cf = cit->second;
 

@@ -23,6 +23,13 @@
 // canonical trigger, un-permutes it to the caller's pin order and finally
 // un-reflects the negated support pins.  NPN and P caches are cross-checked
 // bit-for-bit over the full LUT4 space in the tests.
+//
+// Masters wider than 6 variables (multiword truth tables) are memoized on
+// their concrete bits: the exhaustive orbit sweep behind both canonical
+// levels enumerates n! * 2^(n+1) variants, a first-seen latency wall at
+// LUT7/LUT8 scale.  Identity keying still dedups repeated wide functions;
+// class-level sharing for wide masters is the semi-canonical-form follow-on
+// in the ROADMAP.  All keys mix every truth-table word (see mix_key).
 
 #pragma once
 
@@ -72,28 +79,40 @@ public:
     /// Number of distinct master functions canonicalized so far.
     std::size_t canonicalized_masters() const { return canon_memo_.size(); }
 
-    /// A canonical form: the minimal truth-table bits over the orbit of the
+    /// A canonical form: the minimal truth-table words over the orbit of the
     /// function, plus one transform achieving it.  The transform is applied
     /// input-negation first, permutation second, output negation last:
     ///   canon(y) = output_neg XOR f(P^-1(y) ^ input_neg)
     /// where perm[v] is the canonical position of original variable v.  The
     /// P-canonical form leaves input_neg == 0 and output_neg == false.
+    /// Tables are ordered as 2^n-bit integers (most-significant word first);
+    /// for <= 6 variables this coincides with the single-word `<` order.
     struct canonical_form {
-        std::uint64_t bits = 0;
+        bf::tt_words bits{};
         std::array<std::uint8_t, bf::k_max_vars> perm{};
         std::uint32_t input_neg = 0;
         bool output_neg = false;
     };
-    /// Exhaustive n!-enumeration P-canonicalization (n <= 6; 24 word-level
-    /// permutes for a LUT4).  Deterministic: ties broken by the
-    /// lexicographically smallest permutation.
+    /// Exhaustive n!-enumeration P-canonicalization (24 word-level permutes
+    /// for a LUT4).  Deterministic: ties broken by the lexicographically
+    /// smallest permutation.  Exact for any arity up to k_max_vars, but the
+    /// 8!-variant sweep is a cold-start cost the cache only pays for <= 6
+    /// variables (see exact()).
     static canonical_form canonicalize(const bf::truth_table& f);
 
     /// Exhaustive NPN canonicalization: 2 output phases x 2^n input phases
     /// x n! permutations (768 variants for a LUT4), all word-level.
-    /// Deterministic: minimal bits win, ties broken by the enumeration
+    /// Deterministic: minimal words win, ties broken by the enumeration
     /// order (output phase, then input phase, then permutation).
     static canonical_form npn_canonicalize(const bf::truth_table& f);
+
+    /// The transform the cache uses for masters wider than 6 variables: the
+    /// identity (concrete bits, identity permutation, no negation).  The
+    /// exhaustive orbit sweeps above are exact but their n! * 2^n variant
+    /// count is a first-seen latency wall at LUT7/LUT8 scale; until the
+    /// semi-canonical forms named in the ROADMAP land, wide functions are
+    /// memoized per concrete function instead of per class.
+    static canonical_form identity_form(const bf::truth_table& f);
 
     /// Where `support` lands under the canonicalizing permutation.
     static std::uint32_t canonical_support(const canonical_form& form,
@@ -110,15 +129,23 @@ public:
                                                   std::uint32_t canon_support,
                                                   int num_vars);
 
-    /// The 64-bit key mixer (splitmix64 finalization over all key fields),
-    /// exposed so the tests can assert its collision distribution and the
-    /// concurrent cache can shard on it.
+    /// The 64-bit key mixer (splitmix64 finalization chained over every
+    /// active word plus the support/arity fields), exposed so the tests can
+    /// assert its collision distribution and the concurrent cache can shard
+    /// on it.  Every word of a multiword function feeds the chain — two
+    /// functions that agree on word 0 but differ above never alias.  For
+    /// <= 6 variables the chain reduces to the original single-word mix, so
+    /// pre-multiword keys are reproduced bit-for-bit.
+    static std::uint64_t mix_key(const bf::tt_words& bits, std::uint32_t support,
+                                 int num_vars);
+    /// Single-word convenience for <= 6-variable callers; identical to the
+    /// array overload with words 1..3 zero.
     static std::uint64_t mix_key(std::uint64_t bits, std::uint32_t support,
                                  int num_vars);
 
 private:
     struct key {
-        std::uint64_t bits;
+        bf::tt_words bits;
         std::uint32_t support;
         int num_vars;
         bool operator==(const key&) const = default;

@@ -40,6 +40,45 @@ bf::truth_table exact_trigger_function(const bf::truth_table& master,
     // A support assignment is determined exactly when the cofactor over the
     // free variables is constant 1 (the conjunctive fold of f survives) or
     // constant 0 (the conjunctive fold of ~f survives).
+    const int n = master.num_vars();
+    if (n <= bf::k_word_vars) {
+        // Single-word fast path: both polarity folds fused into one pass and
+        // the shrink compaction, all on two register words — this is the
+        // PR 1 hot kernel, kept allocation- and call-free so the multiword
+        // generalization costs the LUT4 sweep nothing.
+        const std::uint64_t full = n == bf::k_word_vars
+                                       ? ~std::uint64_t{0}
+                                       : ((std::uint64_t{1} << (1u << n)) - 1);
+        std::uint64_t pos = master.bits();
+        std::uint64_t neg = ~pos & full;
+        for (int v = 0; v < n; ++v) {
+            if ((support >> v) & 1u) continue;
+            const std::uint64_t m = bf::k_var_mask[v];
+            const int s = 1 << v;
+            std::uint64_t lo = pos & ~m;
+            lo |= lo << s;
+            std::uint64_t hi = pos & m;
+            hi |= hi >> s;
+            pos = lo & hi;
+            lo = neg & ~m;
+            lo |= lo << s;
+            hi = neg & m;
+            hi |= hi >> s;
+            neg = lo & hi;
+        }
+        std::uint64_t det = pos | neg;
+        int target = 0;
+        for (int v = 0; v < n; ++v) {
+            if (!((support >> v) & 1u)) continue;
+            for (int j = v - 1; j >= target; --j) det = bf::swap_adjacent_word(det, j);
+            ++target;
+        }
+        const std::uint64_t full_k =
+            target == bf::k_word_vars
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << (1u << target)) - 1);
+        return bf::truth_table(target, det & full_k);
+    }
     const bf::truth_table determined = master.fold_free_vars(support, true) |
                                        (~master).fold_free_vars(support, true);
     return determined.shrink_to(support);
@@ -56,26 +95,50 @@ bf::truth_table cube_list_trigger_function(const bf::truth_table& master,
     // a coverage of 50% is computed for the trigger function": each cube of
     // either cover that is confined to the support becomes a product of
     // projection masks over the compressed pins — one AND per bound literal.
-    const std::uint64_t full_k =
-        k == bf::k_max_vars ? ~std::uint64_t{0}
-                            : ((std::uint64_t{1} << (1u << k)) - 1);
-    std::uint64_t bits = 0;
+    if (k <= bf::k_word_vars) {
+        // Single-word fast path: one register AND per literal, as pre-
+        // multiword — the dominant (<= 6 pin) case pays no truth_table
+        // temporaries.
+        const std::uint64_t full_k =
+            k == bf::k_word_vars ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << (1u << k)) - 1);
+        std::uint64_t bits = 0;
+        auto absorb = [&](const bf::cube_list& cubes) {
+            const bf::cube_list confined = cubes.restricted_to_support(support);
+            for (const bf::cube& c : confined.cubes()) {
+                std::uint64_t t = full_k;
+                for (int i = 0; i < k; ++i) {
+                    const int v = members[static_cast<std::size_t>(i)];
+                    if (!((c.care_mask() >> v) & 1u)) continue;
+                    t &= ((c.value_mask() >> v) & 1u) ? bf::k_var_mask[i]
+                                                      : ~bf::k_var_mask[i];
+                }
+                bits |= t;
+            }
+        };
+        absorb(cover.on);
+        absorb(cover.off);
+        return bf::truth_table(k, bits & full_k);
+    }
+    // Multiword supports (> 6 compressed pins): the same product, built
+    // word-parallel over truth-table projections.
+    bf::truth_table trig(k);
     auto absorb = [&](const bf::cube_list& cubes) {
         const bf::cube_list confined = cubes.restricted_to_support(support);
         for (const bf::cube& c : confined.cubes()) {
-            std::uint64_t t = full_k;
+            bf::truth_table t = bf::truth_table::constant(k, true);
             for (int i = 0; i < k; ++i) {
                 const int v = members[static_cast<std::size_t>(i)];
                 if (!((c.care_mask() >> v) & 1u)) continue;
-                t &= ((c.value_mask() >> v) & 1u) ? bf::k_var_mask[i]
-                                                  : ~bf::k_var_mask[i];
+                const bf::truth_table x = bf::truth_table::variable(k, i);
+                t = t & (((c.value_mask() >> v) & 1u) ? x : ~x);
             }
-            bits |= t;
+            trig = trig | t;
         }
     };
     absorb(cover.on);
     absorb(cover.off);
-    return bf::truth_table(k, bits & full_k);
+    return trig;
 }
 
 int covered_minterms(const bf::truth_table& master, std::uint32_t support,

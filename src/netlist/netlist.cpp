@@ -190,7 +190,8 @@ void netlist::validate() const {
         }
         switch (c.kind) {
             case cell_kind::lut:
-                if (c.fanins.empty() || c.fanins.size() > 6) {
+                if (c.fanins.empty() ||
+                    c.fanins.size() > static_cast<std::size_t>(bf::k_max_vars)) {
                     throw std::logic_error("validate: LUT fanin count out of range");
                 }
                 if (c.function.num_vars() != static_cast<int>(c.fanins.size())) {

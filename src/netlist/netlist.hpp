@@ -27,7 +27,7 @@ inline constexpr cell_id k_invalid_cell = 0xffffffffu;
 enum class cell_kind : std::uint8_t {
     input,     ///< primary input port
     constant,  ///< constant driver (folded away before PL mapping where possible)
-    lut,       ///< combinational look-up table, 0 < fanin <= 6 (4 after mapping)
+    lut,       ///< combinational look-up table, 0 < fanin <= 8 (4 after LUT4 mapping)
     dff,       ///< positive-edge D flip-flop with initial state
     output,    ///< primary output port (single fanin, drives nothing)
 };

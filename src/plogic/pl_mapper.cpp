@@ -145,9 +145,9 @@ nl::netlist insert_register_slack(const nl::netlist& src, bool& changed) {
 
 map_result map_to_phased_logic(const nl::netlist& input, const map_options& options) {
     input.validate();
-    if (!input.respects_fanin_limit(4)) {
+    if (!input.respects_fanin_limit(bf::k_max_vars)) {
         throw std::invalid_argument(
-            "map_to_phased_logic: netlist exceeds the LUT4 fanin budget");
+            "map_to_phased_logic: netlist exceeds the PL gate fanin budget");
     }
     bool patched = false;
     const nl::netlist nl = insert_register_slack(input, patched);

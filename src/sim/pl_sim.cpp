@@ -60,13 +60,13 @@ pl_simulator::pl_simulator(const pl::pl_netlist& pl, sim_options options)
         d.out_begin = topo_.out_off[g];
         d.out_end = topo_.out_off[g + 1];
         d.efire_in = gate.efire_in;
-        d.fn_bits = gate.function.bits();
+        d.fn_bits = gate.function.words();
         in_count_[g] = d.in_end - d.in_begin;
         if (gate.trigger != pl::k_invalid_gate) {
             // Master of an EE pair: bake the trigger function and its
             // pin-packing map in, so neither engine allocates at fire time.
             const pl::pl_gate& trig = pl.gate(gate.trigger);
-            d.trig_fn_bits = trig.function.bits();
+            d.trig_fn_bits = trig.function.words();
             std::uint8_t count = 0;
             for (std::uint8_t v = 0; v < 32; ++v) {
                 if ((trig.trigger_support >> v) & 1u) {
@@ -266,7 +266,8 @@ void pl_simulator::try_fire(pl::gate_id g) {
                 for (std::uint8_t i = 0; i < d.trig_pin_count; ++i) {
                     packed |= ((minterm >> d.trig_pins[i]) & 1u) << i;
                 }
-                const bool trig_value = (d.trig_fn_bits >> packed) & 1u;
+                const bool trig_value =
+                    (d.trig_fn_bits[packed >> 6] >> (packed & 63)) & 1u;
                 if (trig_value != efire_value) {
                     throw std::logic_error(
                         "pl_simulator: efire token disagrees with the trigger "
@@ -471,11 +472,11 @@ void pl_simulator::try_fire_fast(pl::gate_id g) {
             t_out = t_ready + options_.delays.through_delay();
             break;
         case pl::gate_kind::trigger:
-            value = (d.fn_bits >> minterm) & 1u;
+            value = (d.fn_bits[minterm >> 6] >> (minterm & 63)) & 1u;
             t_out = t_ready + options_.delays.gate_delay();
             break;
         case pl::gate_kind::compute: {
-            value = (d.fn_bits >> minterm) & 1u;
+            value = (d.fn_bits[minterm >> 6] >> (minterm & 63)) & 1u;
             if (!has_trigger) {
                 t_out = t_ready + options_.delays.gate_delay();
                 break;
@@ -496,7 +497,8 @@ void pl_simulator::try_fire_fast(pl::gate_id g) {
                 for (std::uint8_t i = 0; i < d.trig_pin_count; ++i) {
                     packed |= ((minterm >> d.trig_pins[i]) & 1u) << i;
                 }
-                const bool trig_value = (d.trig_fn_bits >> packed) & 1u;
+                const bool trig_value =
+                    (d.trig_fn_bits[packed >> 6] >> (packed & 63)) & 1u;
                 if (trig_value != efire_value) {
                     throw std::logic_error(
                         "pl_simulator: efire token disagrees with the trigger "

@@ -53,9 +53,12 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "bool/truth_table.hpp"
 
 #include "plogic/pl_flat.hpp"
 #include "plogic/pl_netlist.hpp"
@@ -151,22 +154,25 @@ private:
     /// Precomputed per-gate firing metadata: everything try_fire needs,
     /// gathered from pl_gate / trigger gate / source-sink indices into one
     /// flat record so the hot path reads a single array.  Cache-line
-    /// aligned: one descriptor never straddles two lines.
+    /// aligned: the scalar fields and the low function word share the first
+    /// line; only >6-input gates (and wide triggers) reach into the second.
     struct alignas(64) gate_desc {
         pl::gate_kind kind = pl::gate_kind::compute;
-        std::uint8_t num_data = 0;        ///< LUT operand count
+        std::uint8_t num_data = 0;        ///< LUT operand count (<= 8)
         std::uint8_t trig_pin_count = 0;  ///< master: trigger support size
         bool const_value = false;
         std::uint32_t in_begin = 0, in_end = 0;    ///< topo_.in_flat range
         std::uint32_t data_begin = 0;              ///< topo_.data_flat offset
         std::uint32_t out_begin = 0, out_end = 0;  ///< topo_.out_flat range
         pl::edge_id efire_in = pl::k_invalid_edge;
-        std::uint32_t env_slot = 0;   ///< position in sources() / sinks()
-        std::uint64_t fn_bits = 0;    ///< LUT truth-table bits
-        std::uint64_t trig_fn_bits = 0;  ///< master: trigger function bits
+        std::uint32_t env_slot = 0;  ///< position in sources() / sinks()
         /// Master: trigger pin i taps master data pin trig_pins[i] — the
         /// pin-packing map that replaces bf::support_members at fire time.
-        std::uint8_t trig_pins[6] = {};
+        std::uint8_t trig_pins[bf::k_max_vars] = {};
+        /// LUT truth-table words; minterm m is bit (m & 63) of word (m >> 6).
+        std::array<std::uint64_t, bf::k_num_words> fn_bits{};
+        /// Master: trigger function words, same layout over the packed pins.
+        std::array<std::uint64_t, bf::k_num_words> trig_fn_bits{};
     };
 
     void reset();

@@ -7,8 +7,8 @@ namespace plee::syn {
 
 tech_mapper::tech_mapper(expr_arena& arena, nl::netlist& nl, int max_fanin)
     : arena_(arena), nl_(nl), max_fanin_(max_fanin) {
-    if (max_fanin < 2 || max_fanin > 4) {
-        throw std::invalid_argument("tech_mapper: max_fanin must be in [2, 4]");
+    if (max_fanin < 2 || max_fanin > bf::k_max_vars) {
+        throw std::invalid_argument("tech_mapper: max_fanin must be in [2, 8]");
     }
 }
 

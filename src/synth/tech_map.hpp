@@ -1,12 +1,14 @@
-// tech_map.hpp — greedy cone-packing technology mapper onto LUT4 cells.
+// tech_map.hpp — greedy cone-packing technology mapper onto LUT cells.
 //
 // Every Phased Logic gate in the paper's implementation realizes a 4-input
 // look-up table ("our restriction to a LUT4 in the PL gate allows for the
 // [exhaustive trigger] approach to be practical").  This mapper lowers an
 // expression DAG into a netlist of LUTs with at most `max_fanin` inputs
-// (default 4) by packing operator trees into single-output cones while the
-// merged leaf support stays within the fanin budget.  Multi-fanout
-// subexpressions are materialized once and shared.
+// (default 4, the paper's PL gate; any K up to the 8-variable truth-table
+// limit is accepted for the wide-block experiments) by packing operator
+// trees into single-output cones while the merged leaf support stays within
+// the fanin budget.  Multi-fanout subexpressions are materialized once and
+// shared.
 
 #pragma once
 
@@ -19,7 +21,8 @@ namespace plee::syn {
 
 class tech_mapper {
 public:
-    /// `max_fanin` must be in [2, 4]; 4 matches the paper's PL gate.
+    /// `max_fanin` must be in [2, 8]; 4 matches the paper's PL gate, 7/8
+    /// open the wide-cut (LUT7/LUT8) mapping the multiword tables support.
     tech_mapper(expr_arena& arena, nl::netlist& nl, int max_fanin = 4);
 
     /// Lowers `root` to a cell driving an equivalent net.  Idempotent per

@@ -1,6 +1,7 @@
 #include "workload/workload.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -53,9 +54,64 @@ constexpr std::uint64_t k_arith2[] = {0x6, 0x8, 0xE, 0x9};
 constexpr std::uint64_t k_arith3[] = {0x96, 0xE8, 0xCA, 0x80, 0xFE, 0x17};
 constexpr std::uint64_t k_arith4[] = {0x6996, 0xF888, 0x8000, 0xFFFE, 0x7EE8};
 
+/// Wide (5..8 input) arithmetic templates, built once per arity: parity,
+/// majority, AND, OR, a mux tree (low inputs select among the high ones) and
+/// a carry-save-shaped threshold — the early-output adder/comparator block
+/// shapes of the wide-arity studies.  NPN scrambling afterwards spreads each
+/// template over its whole class, exactly like the LUT2-4 seeds above.
+std::vector<bf::truth_table> make_wide_templates(int arity) {
+    std::vector<bf::truth_table> t;
+    t.push_back(bf::truth_table::from_function(
+        arity, [](std::uint32_t m) { return (std::popcount(m) & 1) != 0; }));
+    t.push_back(bf::truth_table::from_function(arity, [arity](std::uint32_t m) {
+        return std::popcount(m) * 2 > arity;
+    }));
+    t.push_back(bf::truth_table::from_function(arity, [arity](std::uint32_t m) {
+        return m == (1u << arity) - 1;
+    }));
+    t.push_back(bf::truth_table::from_function(
+        arity, [](std::uint32_t m) { return m != 0; }));
+    // Mux: the low select inputs address one of the remaining data inputs
+    // by wrapping modulo.  Full support needs (a) 2^sel >= data so every
+    // data input is reachable and (b) 2^(sel-1) % data != 0 so the top
+    // select bit survives the wrap — e.g. 3 select bits over 4 data inputs
+    // would leave select bit 2 vacuous (4 % 4 == 0) and the "wide" template
+    // secretly narrower than its arity.
+    int sel = 1;
+    while ((1 << sel) < arity - sel ||
+           (sel > 1 && (1 << (sel - 1)) % (arity - sel) == 0)) {
+        ++sel;
+    }
+    const int data = arity - sel;
+    t.push_back(bf::truth_table::from_function(arity, [=](std::uint32_t m) {
+        const std::uint32_t which = (m & ((1u << sel) - 1)) % static_cast<std::uint32_t>(data);
+        return ((m >> (sel + which)) & 1u) != 0;
+    }));
+    t.push_back(bf::truth_table::from_function(arity, [arity](std::uint32_t m) {
+        return std::popcount(m) >= arity - 1;
+    }));
+    // Every template must genuinely span its arity: a pick with dead pins
+    // would wire a narrower function to `arity` sources and quietly shrink
+    // the wide-support trigger space the presets exist to exercise.
+    for (const bf::truth_table& f : t) {
+        if (f.support_mask() != (1u << arity) - 1) {
+            throw std::logic_error(
+                "workload: wide template does not span its arity");
+        }
+    }
+    return t;
+}
+
+const std::vector<bf::truth_table>& wide_templates(int arity) {
+    static const std::vector<bf::truth_table> k_by_arity[4] = {
+        make_wide_templates(5), make_wide_templates(6), make_wide_templates(7),
+        make_wide_templates(8)};
+    return k_by_arity[arity - 5];
+}
+
 bf::truth_table sample_function(rng_stream& rng, int arity, function_mix mix) {
     const std::uint64_t full =
-        arity == 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << arity)) - 1);
+        arity >= 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << arity)) - 1);
     if (arity == 1) {
         // Buffer or inverter regardless of mix — the only non-constant
         // 1-input functions.
@@ -64,11 +120,14 @@ bf::truth_table sample_function(rng_stream& rng, int arity, function_mix mix) {
 
     switch (mix) {
         case function_mix::arithmetic: {
-            std::uint64_t bits = 0;
-            if (arity == 2) bits = k_arith2[rng.below(std::size(k_arith2))];
-            else if (arity == 3) bits = k_arith3[rng.below(std::size(k_arith3))];
-            else bits = k_arith4[rng.below(std::size(k_arith4))];
-            bf::truth_table t(arity, bits);
+            bf::truth_table t(arity);
+            if (arity == 2) t = bf::truth_table(2, k_arith2[rng.below(std::size(k_arith2))]);
+            else if (arity == 3) t = bf::truth_table(3, k_arith3[rng.below(std::size(k_arith3))]);
+            else if (arity == 4) t = bf::truth_table(4, k_arith4[rng.below(std::size(k_arith4))]);
+            else {
+                const std::vector<bf::truth_table>& pool = wide_templates(arity);
+                t = pool[rng.below(pool.size())];
+            }
             t = t.negate_inputs(static_cast<std::uint32_t>(rng.next()) &
                                 ((1u << arity) - 1));
             return t.permute(rng.permutation(arity));
@@ -86,18 +145,26 @@ bf::truth_table sample_function(rng_stream& rng, int arity, function_mix mix) {
         case function_mix::uniform:
         default: {
             // Prefer full-support non-constant tables; after a few rejected
-            // draws accept partial support but still repair constants.
-            std::uint64_t bits = 0;
+            // draws accept partial support but still repair constants.  The
+            // draw order is word 0 first, so <= 6-input sampling consumes the
+            // stream exactly as it did before multiword tables.
+            bf::tt_words words{};
+            const int nw = bf::words_for(arity);
             for (int attempt = 0; attempt < 6; ++attempt) {
-                bits = rng.next() & full;
-                const bf::truth_table t(arity, bits);
+                words[0] = rng.next() & full;
+                for (int w = 1; w < nw; ++w) words[w] = rng.next();
+                const bf::truth_table t(arity, words);
                 if (!t.is_constant() &&
                     t.support_mask() == (1u << arity) - 1) {
                     return t;
                 }
             }
-            if (bits == 0 || bits == full) bits ^= 1;
-            return bf::truth_table(arity, bits);
+            bf::truth_table t(arity, words);
+            if (t.is_constant()) {
+                words[0] ^= 1;
+                t = bf::truth_table(arity, words);
+            }
+            return t;
         }
     }
 }
@@ -110,6 +177,8 @@ const char* to_string(scenario s) {
         case scenario::datapath_like: return "datapath-like";
         case scenario::control_fsm: return "control-fsm";
         case scenario::wide_adder: return "wide-adder";
+        case scenario::lut6_dag: return "lut6-dag";
+        case scenario::lut8_datapath: return "lut8-datapath";
     }
     return "unknown";
 }
@@ -123,8 +192,8 @@ scenario scenario_from_string(const std::string& name) {
 
 const std::vector<scenario>& all_scenarios() {
     static const std::vector<scenario> k_all = {
-        scenario::random_dag, scenario::datapath_like, scenario::control_fsm,
-        scenario::wide_adder};
+        scenario::random_dag,  scenario::datapath_like, scenario::control_fsm,
+        scenario::wide_adder,  scenario::lut6_dag,      scenario::lut8_datapath};
     return k_all;
 }
 
@@ -160,12 +229,34 @@ workload_params scenario_params(scenario kind, std::size_t num_gates,
             break;
         case scenario::wide_adder:
             p.mix = function_mix::arithmetic;
-            p.arity_weights = {0, 5, 85, 10};
+            p.arity_weights = {0, 5, 85, 10, 0, 0, 0, 0};
             p.locality = 0.95;
             p.latch_fraction = 0.05;
             p.depth_layers = std::max<std::size_t>(4, num_gates / 3);
             p.num_inputs = std::max<std::size_t>(8, num_gates / 4);
             p.num_outputs = std::max<std::size_t>(4, num_gates / 8);
+            break;
+        case scenario::lut6_dag:
+            // Wide-arity null family: uniform LUT5/LUT6 blocks exercising
+            // the one- and two-word trigger-search path at every gate.
+            p.max_arity = 6;
+            p.arity_weights = {0, 5, 10, 20, 30, 35, 0, 0};
+            p.locality = 0.5;
+            p.num_inputs = std::max<std::size_t>(12, num_gates / 6);
+            p.num_outputs = std::max<std::size_t>(4, num_gates / 16);
+            break;
+        case scenario::lut8_datapath:
+            // Widest blocks: LUT7/LUT8-heavy arithmetic templates — the
+            // early-output adder/comparator shapes the multiword kernels
+            // exist for.  Four-word truth tables on most gates.
+            p.mix = function_mix::arithmetic;
+            p.max_arity = 8;
+            p.arity_weights = {0, 0, 10, 15, 15, 20, 20, 20};
+            p.locality = 0.8;
+            p.latch_fraction = 0.08;
+            p.depth_layers = std::max<std::size_t>(4, num_gates / 10);
+            p.num_inputs = std::max<std::size_t>(16, num_gates / 5);
+            p.num_outputs = std::max<std::size_t>(4, num_gates / 12);
             break;
     }
     return p;
@@ -178,11 +269,14 @@ nl::netlist generate(const workload_params& params) {
     if (params.num_inputs < 2) {
         throw std::invalid_argument("workload: need at least 2 inputs");
     }
-    if (params.max_arity < 1 || params.max_arity > 4) {
-        throw std::invalid_argument("workload: max_arity must be in [1, 4]");
+    if (params.max_arity < 1 || params.max_arity > bf::k_max_vars) {
+        throw std::invalid_argument("workload: max_arity must be in [1, 8]");
     }
-    if (params.arity_weights[0] + params.arity_weights[1] +
-            params.arity_weights[2] + params.arity_weights[3] <= 0) {
+    int reachable_weight = 0;
+    for (int a = 0; a < params.max_arity; ++a) {
+        reachable_weight += params.arity_weights[static_cast<std::size_t>(a)];
+    }
+    if (reachable_weight <= 0) {
         throw std::invalid_argument("workload: arity_weights must not all be zero");
     }
 

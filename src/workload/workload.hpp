@@ -11,8 +11,9 @@
 // circuit families — arithmetic datapaths, control FSMs, carry chains —
 // while `generate` itself stays one general algorithm.
 //
-// Generated netlists pass nl::netlist::validate(), respect the LUT4 fanin
-// limit, and run through the full synth -> PL-map -> EE -> simulate
+// Generated netlists pass nl::netlist::validate(), respect the configured
+// fanin cap (LUT4 for the classic presets, LUT6/LUT8 for the wide-arity
+// ones), and run through the full synth -> PL-map -> EE -> simulate
 // pipeline (the tests drive one end-to-end per scenario).
 
 #pragma once
@@ -33,6 +34,8 @@ enum class scenario : std::uint8_t {
     datapath_like,  ///< arithmetic templates (xor/maj/mux), deep and local
     control_fsm,    ///< latch-heavy sparse decodes with global wiring
     wide_adder,     ///< carry-chain shaped: 3-input heavy, maximal depth
+    lut6_dag,       ///< wide-arity null family: uniform LUT5/LUT6 blocks
+    lut8_datapath,  ///< widest blocks: LUT7/LUT8 arithmetic templates
 };
 
 const char* to_string(scenario s);
@@ -55,14 +58,16 @@ struct workload_params {
     std::size_t num_gates = 200;   ///< LUT count (DFFs and ports come on top)
     std::size_t num_inputs = 16;
     std::size_t num_outputs = 8;
-    int max_arity = 4;             ///< LUT fanin cap, 1..4
+    int max_arity = 4;             ///< LUT fanin cap, 1..8 (4 = the paper's LUT4)
     /// Fraction of num_gates realized as state bits (DFFs fed from the last
     /// layers, readable everywhere — the generator's feedback loops).
     double latch_fraction = 0.12;
     /// Number of combinational layers; 0 derives ~sqrt(num_gates).
     std::size_t depth_layers = 0;
-    /// Relative weight of arity 1..4 when sampling a LUT's fanin count.
-    std::array<int, 4> arity_weights{10, 20, 30, 40};
+    /// Relative weight of arity 1..8 when sampling a LUT's fanin count; only
+    /// the first `max_arity` entries are consulted.  The default matches the
+    /// pre-wide-arity LUT4 shape bit-for-bit (entries 5..8 unreachable).
+    std::array<int, 8> arity_weights{10, 20, 30, 40, 0, 0, 0, 0};
     /// Probability (0..1) that a fanin comes from the immediately previous
     /// layer rather than anywhere earlier — high values make deep chains.
     double locality = 0.6;

@@ -1,0 +1,418 @@
+// Randomized property suite for the multiword (7- and 8-variable) truth
+// tables: every widened word kernel is cross-checked against a naive
+// per-minterm oracle, all randomness from fixed splitmix64 seeds so a
+// failure reproduces bit-for-bit anywhere.  This is the > 6-variable
+// counterpart of the exhaustive single-word sweeps in test_truth_table.cpp
+// and test_word_parallel.cpp: the spaces are too large to enumerate
+// functions, so sampled functions are checked exhaustively per minterm.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "bool/cube_list.hpp"
+#include "bool/splitmix64.hpp"
+#include "bool/support.hpp"
+#include "bool/truth_table.hpp"
+#include "ee/concurrent_cache.hpp"
+#include "ee/trigger_cache.hpp"
+#include "ee/trigger_search.hpp"
+
+namespace plee::bf {
+namespace {
+
+class sm_stream {
+public:
+    explicit sm_stream(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next() { return splitmix64(state_++); }
+
+private:
+    std::uint64_t state_;
+};
+
+truth_table random_table(int n, sm_stream& rng) {
+    tt_words words{};
+    for (int w = 0; w < words_for(n); ++w) words[w] = rng.next();
+    if (n < k_word_vars) words[0] &= (std::uint64_t{1} << (1u << n)) - 1;
+    return truth_table(n, words);
+}
+
+std::vector<int> random_perm(int n, sm_stream& rng) {
+    std::vector<int> p(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) p[static_cast<std::size_t>(v)] = v;
+    for (int v = n - 1; v > 0; --v) {
+        std::swap(p[static_cast<std::size_t>(v)],
+                  p[rng.next() % static_cast<std::uint64_t>(v + 1)]);
+    }
+    return p;
+}
+
+TEST(MultiwordProps, EvalSetAndStringRoundTripPerMinterm) {
+    sm_stream rng(0x9e3779b97f4a7c15ull);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const truth_table f = random_table(n, rng);
+            ASSERT_EQ(truth_table::from_string(f.to_string()), f);
+            truth_table rebuilt(n);
+            int ones = 0;
+            for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+                const bool v = f.eval(m);
+                rebuilt.set(m, v);
+                ones += v ? 1 : 0;
+                ASSERT_EQ(v, ((f.words()[m >> 6] >> (m & 63)) & 1u) != 0);
+            }
+            ASSERT_EQ(rebuilt, f);
+            ASSERT_EQ(f.count_ones(), ones);
+        }
+    }
+}
+
+TEST(MultiwordProps, VariableProjectionsMatchDefinition) {
+    for (int n : {7, 8}) {
+        for (int v = 0; v < n; ++v) {
+            const truth_table x = truth_table::variable(n, v);
+            for (std::uint32_t m = 0; m < x.num_minterms(); ++m) {
+                ASSERT_EQ(x.eval(m), ((m >> v) & 1u) != 0) << "n=" << n << " v=" << v;
+            }
+        }
+    }
+}
+
+TEST(MultiwordProps, CofactorMatchesPerMintermOracle) {
+    sm_stream rng(1);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 40; ++trial) {
+            const truth_table f = random_table(n, rng);
+            for (int v = 0; v < n; ++v) {
+                for (bool value : {false, true}) {
+                    const truth_table c = f.cofactor(v, value);
+                    ASSERT_FALSE(c.depends_on(v));
+                    for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+                        const std::uint32_t src =
+                            value ? (m | (1u << v)) : (m & ~(1u << v));
+                        ASSERT_EQ(c.eval(m), f.eval(src))
+                            << "n=" << n << " v=" << v << " value=" << value
+                            << " m=" << m;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(MultiwordProps, SupportMaskIsSoundAndComplete) {
+    sm_stream rng(2);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 60; ++trial) {
+            const truth_table f = random_table(n, rng);
+            const std::uint32_t mask = f.support_mask();
+            for (int v = 0; v < n; ++v) {
+                // Oracle: v is in the support iff some minterm pair differing
+                // only in v disagrees.
+                bool oracle = false;
+                for (std::uint32_t m = 0; m < f.num_minterms() && !oracle; ++m) {
+                    if ((m >> v) & 1u) continue;
+                    oracle = f.eval(m) != f.eval(m | (1u << v));
+                }
+                ASSERT_EQ(((mask >> v) & 1u) != 0, oracle) << "n=" << n << " v=" << v;
+                ASSERT_EQ(f.depends_on(v), oracle);
+            }
+        }
+    }
+}
+
+TEST(MultiwordProps, PermuteMatchesOracleAndRoundTrips) {
+    sm_stream rng(3);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 40; ++trial) {
+            const truth_table f = random_table(n, rng);
+            const std::vector<int> perm = random_perm(n, rng);
+            const truth_table g = f.permute(perm);
+            for (std::uint32_t dst = 0; dst < f.num_minterms(); ++dst) {
+                std::uint32_t src = 0;
+                for (int v = 0; v < n; ++v) {
+                    if ((dst >> perm[static_cast<std::size_t>(v)]) & 1u) src |= 1u << v;
+                }
+                ASSERT_EQ(g.eval(dst), f.eval(src)) << "n=" << n << " dst=" << dst;
+            }
+            // Round trip through the inverse permutation.
+            std::vector<int> inv(static_cast<std::size_t>(n));
+            for (int v = 0; v < n; ++v) {
+                inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] = v;
+            }
+            ASSERT_EQ(g.permute(inv), f);
+        }
+    }
+}
+
+TEST(MultiwordProps, NegateInputsIsAnInvolutionAndMatchesOracle) {
+    sm_stream rng(4);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 40; ++trial) {
+            const truth_table f = random_table(n, rng);
+            const std::uint32_t mask =
+                static_cast<std::uint32_t>(rng.next()) & ((1u << n) - 1);
+            const truth_table g = f.negate_inputs(mask);
+            for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+                ASSERT_EQ(g.eval(m), f.eval(m ^ mask)) << "n=" << n << " m=" << m;
+            }
+            ASSERT_EQ(g.negate_inputs(mask), f);
+        }
+    }
+}
+
+TEST(MultiwordProps, FoldFreeVarsMatchesQuantifierOracle) {
+    // Budgeted version of the exhaustive single-word quantifier test: a
+    // handful of random supports per function instead of all 2^n.
+    sm_stream rng(5);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 10; ++trial) {
+            const truth_table f = random_table(n, rng);
+            const std::uint32_t all = (1u << n) - 1;
+            for (int pick = 0; pick < 6; ++pick) {
+                const std::uint32_t support =
+                    static_cast<std::uint32_t>(rng.next()) & all;
+                const std::uint32_t free_mask = all & ~support;
+                const truth_table conj = f.fold_free_vars(support, true);
+                const truth_table disj = f.fold_free_vars(support, false);
+                for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+                    bool every = true;
+                    bool any = false;
+                    for (std::uint32_t sub = free_mask;;
+                         sub = (sub - 1) & free_mask) {
+                        const bool v = f.eval((m & ~free_mask) | sub);
+                        every = every && v;
+                        any = any || v;
+                        if (sub == 0) break;
+                    }
+                    ASSERT_EQ(conj.eval(m), every)
+                        << "n=" << n << " support=" << support << " m=" << m;
+                    ASSERT_EQ(disj.eval(m), any)
+                        << "n=" << n << " support=" << support << " m=" << m;
+                }
+            }
+        }
+    }
+}
+
+TEST(MultiwordProps, ShrinkExpandAreInverses) {
+    sm_stream rng(6);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const truth_table f = random_table(n, rng);
+            const std::uint32_t all = (1u << n) - 1;
+            for (int pick = 0; pick < 8; ++pick) {
+                std::uint32_t support =
+                    static_cast<std::uint32_t>(rng.next()) & all;
+                if (support == 0) support = 1;
+                const std::vector<int> members = support_members(support);
+                const truth_table shrunk = f.shrink_to(support);
+                ASSERT_EQ(shrunk.num_vars(), static_cast<int>(members.size()));
+                // Oracle: the shrunk table is f restricted to free vars = 0.
+                for (std::uint32_t a = 0; a < shrunk.num_minterms(); ++a) {
+                    std::uint32_t m = 0;
+                    for (std::size_t i = 0; i < members.size(); ++i) {
+                        if ((a >> i) & 1u) m |= 1u << members[i];
+                    }
+                    ASSERT_EQ(shrunk.eval(a), f.eval(m))
+                        << "n=" << n << " support=" << support << " a=" << a;
+                }
+                // expand_onto inverts shrink_to and is vacuous off-support.
+                const truth_table back = shrunk.expand_onto(support, n);
+                ASSERT_EQ(back.num_vars(), n);
+                ASSERT_EQ(back.shrink_to(support), shrunk);
+                ASSERT_EQ(back.support_mask() & ~support, 0u);
+                ASSERT_EQ(back.count_ones(),
+                          shrunk.count_ones()
+                              << std::popcount(all & ~support));
+            }
+            // Plain vacuous widening from every smaller arity.
+            const truth_table narrow = random_table(5, rng);
+            const truth_table wide = narrow.expand(n);
+            for (std::uint32_t m = 0; m < wide.num_minterms(); ++m) {
+                ASSERT_EQ(wide.eval(m), narrow.eval(m & 31u));
+            }
+        }
+    }
+}
+
+TEST(MultiwordProps, IsopCoverRoundTripsWideFunctions) {
+    sm_stream rng(7);
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 4; ++trial) {
+            // Sparse ON-sets keep Quine–McCluskey fast at 8 variables while
+            // still spanning several words.
+            truth_table f(n);
+            for (int i = 0; i < 24; ++i) {
+                f.set(static_cast<std::uint32_t>(rng.next()) & ((1u << n) - 1),
+                      true);
+            }
+            const cube_list cover = isop_cover(f);  // self-verifies
+            ASSERT_EQ(cover.to_truth_table(), f);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace plee::bf
+
+namespace plee::ee {
+namespace {
+
+using bf::splitmix64;
+using bf::truth_table;
+using bf::tt_words;
+
+class sm_stream {
+public:
+    explicit sm_stream(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next() { return splitmix64(state_++); }
+
+private:
+    std::uint64_t state_;
+};
+
+truth_table random_table(int n, sm_stream& rng) {
+    tt_words words{};
+    for (int w = 0; w < bf::words_for(n); ++w) words[w] = rng.next();
+    return truth_table(n, words);
+}
+
+TEST(MultiwordTrigger, ExactTriggerMatchesScalarOracleOnWideMasters) {
+    sm_stream rng(11);
+    for (int n : {7, 8}) {
+        const std::uint32_t pins = (1u << n) - 1;
+        for (int trial = 0; trial < 30; ++trial) {
+            const truth_table master = random_table(n, rng);
+            for (std::uint32_t s : bf::cached_support_subsets(pins, 3)) {
+                const truth_table word = exact_trigger_function(master, s);
+                ASSERT_EQ(word, scalar::exact_trigger_function(master, s))
+                    << "n=" << n << " support=" << s;
+                ASSERT_EQ(covered_minterms(master, s, word),
+                          scalar::covered_minterms(master, s, word));
+            }
+        }
+    }
+}
+
+TEST(MultiwordTrigger, ExactTriggerHandlesWideSupports) {
+    // Supports with > 6 members: the trigger itself is a multiword table.
+    sm_stream rng(12);
+    for (int trial = 0; trial < 10; ++trial) {
+        const truth_table master = random_table(8, rng);
+        for (std::uint32_t s : {0x7fu, 0xbfu, 0xfeu}) {  // 7-member supports
+            const truth_table word = exact_trigger_function(master, s);
+            ASSERT_EQ(word.num_vars(), 7);
+            ASSERT_EQ(word, scalar::exact_trigger_function(master, s));
+        }
+    }
+}
+
+TEST(MultiwordTrigger, CubeListTriggerMatchesScalarOracleOnWideMasters) {
+    sm_stream rng(13);
+    for (int n : {7, 8}) {
+        const std::uint32_t pins = (1u << n) - 1;
+        for (int trial = 0; trial < 4; ++trial) {
+            // Structured masters keep the QM cover compact at 8 variables: a
+            // threshold function plus random input negations.
+            truth_table base = truth_table::from_function(n, [n](std::uint32_t m) {
+                return std::popcount(m) * 2 > n;
+            });
+            base = base.negate_inputs(static_cast<std::uint32_t>(rng.next()) &
+                                      ((1u << n) - 1));
+            const bf::on_off_cover cover = bf::make_on_off_cover(base);
+            for (std::uint32_t s : bf::cached_support_subsets(pins, 3)) {
+                ASSERT_EQ(cube_list_trigger_function(base, cover, s),
+                          scalar::cube_list_trigger_function(base, cover, s))
+                    << "n=" << n << " support=" << s;
+            }
+        }
+    }
+}
+
+TEST(MultiwordTrigger, FullSearchMatchesScalarKernelsOnWideMasters) {
+    sm_stream rng(14);
+    search_options word_opts;
+    search_options scalar_opts;
+    scalar_opts.use_scalar_kernels = true;
+    for (int n : {7, 8}) {
+        for (int trial = 0; trial < 12; ++trial) {
+            const truth_table master = random_table(n, rng);
+            std::vector<int> arrivals;
+            for (int v = 0; v < n; ++v) {
+                arrivals.push_back(static_cast<int>(rng.next() % 5));
+            }
+            const search_result w = find_best_trigger(master, arrivals, word_opts);
+            const search_result s = find_best_trigger(master, arrivals, scalar_opts);
+            ASSERT_EQ(w.all.size(), s.all.size()) << "n=" << n;
+            for (std::size_t i = 0; i < w.all.size(); ++i) {
+                ASSERT_EQ(w.all[i].support, s.all[i].support);
+                ASSERT_EQ(w.all[i].function, s.all[i].function);
+                ASSERT_EQ(w.all[i].covered_minterms, s.all[i].covered_minterms);
+                ASSERT_EQ(w.all[i].cost, s.all[i].cost);
+            }
+            ASSERT_EQ(w.best.has_value(), s.best.has_value());
+            if (w.best) {
+                ASSERT_EQ(w.best->support, s.best->support);
+                ASSERT_EQ(w.best->function, s.best->function);
+            }
+        }
+    }
+}
+
+TEST(MultiwordTrigger, CachesAreTransparentOnWideMasters) {
+    // Wide masters memoize on concrete bits (identity canonical form); the
+    // cached result must still equal the direct kernel, repeats must hit,
+    // and the private and fleet-shared caches must agree.
+    sm_stream rng(15);
+    trigger_cache cache;
+    concurrent_trigger_cache shared;
+    std::vector<truth_table> masters;
+    for (int trial = 0; trial < 10; ++trial) masters.push_back(random_table(7, rng));
+    const std::vector<std::uint32_t>& supports =
+        bf::cached_support_subsets(0x7f, 3);
+    for (const truth_table& m : masters) {
+        for (std::uint32_t s : supports) {
+            const truth_table direct = exact_trigger_function(m, s);
+            ASSERT_EQ(cache.exact(m, s), direct);
+            ASSERT_EQ(shared.exact(m, s), direct);
+        }
+    }
+    const std::uint64_t misses = cache.misses();
+    for (const truth_table& m : masters) {
+        for (std::uint32_t s : supports) cache.exact(m, s);
+    }
+    EXPECT_EQ(cache.misses(), misses);  // second sweep is all hits
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              2 * masters.size() * supports.size());
+}
+
+TEST(MultiwordTrigger, PCanonicalizationIsPermutationInvariantAtSevenVars) {
+    // The exhaustive orbit sweep stays exact above the single-word limit
+    // even though the caches choose not to pay for it (identity form): any
+    // permutation of a 7-var function canonicalizes to the same words.
+    sm_stream rng(16);
+    for (int trial = 0; trial < 3; ++trial) {
+        const truth_table f = random_table(7, rng);
+        const trigger_cache::canonical_form canon = trigger_cache::canonicalize(f);
+        for (int variant = 0; variant < 3; ++variant) {
+            std::vector<int> perm(7);
+            for (int v = 0; v < 7; ++v) perm[static_cast<std::size_t>(v)] = v;
+            for (int v = 6; v > 0; --v) {
+                std::swap(perm[static_cast<std::size_t>(v)],
+                          perm[rng.next() % static_cast<std::uint64_t>(v + 1)]);
+            }
+            const truth_table g = f.permute(perm);
+            ASSERT_EQ(trigger_cache::canonicalize(g).bits, canon.bits);
+            // The recorded witness reproduces the canonical words.
+            const trigger_cache::canonical_form cg = trigger_cache::canonicalize(g);
+            std::vector<int> witness(7);
+            for (int v = 0; v < 7; ++v) witness[v] = cg.perm[v];
+            ASSERT_EQ(g.permute(witness).words(), canon.bits);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace plee::ee

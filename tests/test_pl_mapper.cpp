@@ -117,14 +117,22 @@ TEST(PlMapper, SharingSavesAcks) {
     EXPECT_TRUE(opt.pl.verify().ok());
 }
 
-TEST(PlMapper, RejectsWideLuts) {
-    nl::netlist n;
-    std::vector<nl::cell_id> ins;
-    for (int i = 0; i < 5; ++i) ins.push_back(n.add_input("i" + std::to_string(i)));
-    const bf::truth_table or5 =
-        bf::truth_table::from_function(5, [](std::uint32_t m) { return m != 0; });
-    n.add_output("y", n.add_lut(or5, ins));
-    EXPECT_THROW(map_to_phased_logic(n), std::invalid_argument);
+TEST(PlMapper, MapsWideLutsUpToTheTruthTableLimit) {
+    // The paper's gate is a LUT4, but the mapping rules are arity-blind: a
+    // LUT of any width the truth-table layer can express becomes one compute
+    // gate whose marked graph still verifies.
+    for (int k : {5, 7, 8}) {
+        nl::netlist n;
+        std::vector<nl::cell_id> ins;
+        for (int i = 0; i < k; ++i) ins.push_back(n.add_input("i" + std::to_string(i)));
+        const bf::truth_table or_k = bf::truth_table::from_function(
+            k, [](std::uint32_t m) { return m != 0; });
+        n.add_output("y", n.add_lut(or_k, ins));
+        const map_result mapped = map_to_phased_logic(n);
+        EXPECT_TRUE(mapped.pl.verify().ok()) << "k=" << k;
+    }
+    // Beyond 8 inputs there is no truth table to put in the LUT at all.
+    EXPECT_THROW(bf::truth_table(9), std::invalid_argument);
 }
 
 TEST(PlMapper, ConstantsBecomeConstSources) {

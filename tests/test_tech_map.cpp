@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "netlist/sync_sim.hpp"
 
 namespace plee::syn {
@@ -135,7 +137,32 @@ TEST(TechMap, IdempotentLower) {
 TEST(TechMap, RejectsBadFaninBudget) {
     map_fixture f(1);
     EXPECT_THROW(tech_mapper(f.a, f.n, 1), std::invalid_argument);
-    EXPECT_THROW(tech_mapper(f.a, f.n, 5), std::invalid_argument);
+    EXPECT_THROW(tech_mapper(f.a, f.n, 9), std::invalid_argument);
+}
+
+TEST(TechMap, WideCutBudgetPacksIntoOneLut) {
+    // K=7 and K=8 cuts: a reduction tree over max_fanin leaves fits one
+    // multiword LUT and stays functionally exact.
+    for (int k : {7, 8}) {
+        map_fixture f(k);
+        tech_mapper mapper(f.a, f.n, k);
+        const expr_id e = f.a.xor_all(f.vars);
+        const nl::cell_id out = mapper.lower(e);
+        f.n.add_output("y", out);
+        f.n.validate();
+        EXPECT_TRUE(f.n.respects_fanin_limit(k));
+        EXPECT_EQ(f.n.num_luts(), 1u) << "k=" << k;
+
+        nl::sync_simulator sim(f.n);
+        for (std::uint32_t m = 0; m < (1u << k); ++m) {
+            std::vector<bool> inputs;
+            for (int i = 0; i < k; ++i) inputs.push_back((m >> i) & 1u);
+            sim.set_inputs(inputs);
+            sim.eval();
+            EXPECT_EQ(sim.value_of(out), (std::popcount(m) & 1) != 0)
+                << "k=" << k << " m=" << m;
+        }
+    }
 }
 
 TEST(TechMap, Lut2BudgetStillCorrect) {

@@ -35,7 +35,7 @@ TEST(TriggerCache, CanonicalFormIsPermutationInvariant) {
             // The witness permutation reproduces the canonical bits.
             std::vector<int> witness(4);
             for (int v = 0; v < 4; ++v) witness[v] = canon_g.perm[v];
-            ASSERT_EQ(g.permute(witness).bits(), canon.bits);
+            ASSERT_EQ(g.permute(witness).words(), canon.bits);
         } while (std::next_permutation(perm.begin(), perm.end()));
     }
 }
@@ -126,6 +126,73 @@ TEST(TriggerCache, MixKeySeparatesFieldVariants) {
     EXPECT_NE(base, trigger_cache::mix_key(0xcafe, 0b101, 4));
     EXPECT_NE(base, trigger_cache::mix_key(0xcafe, 0b011, 5));
     EXPECT_NE(base, trigger_cache::mix_key(0xcaff, 0b011, 4));
+}
+
+TEST(TriggerCache, MultiwordKeysMixEveryWord) {
+    // Regression for the multiword refactor: the pre-refactor mixer hashed a
+    // bare uint64, so two wide functions agreeing on word 0 would have
+    // collapsed to one key.  The reworked mixer chains all active words —
+    // differing in ANY single word must change the key.
+    const bf::tt_words base{0x0123456789abcdefull, 0xaaaaaaaaaaaaaaaaull,
+                            0x5555555555555555ull, 0xdeadbeefcafef00dull};
+    const std::uint64_t k8 = trigger_cache::mix_key(base, 0b111, 8);
+    for (int w = 0; w < bf::k_num_words; ++w) {
+        bf::tt_words flipped = base;
+        flipped[w] ^= 1;
+        EXPECT_NE(trigger_cache::mix_key(flipped, 0b111, 8), k8) << "word " << w;
+    }
+    // 7-var keys mix exactly the two active words: word 2/3 noise must not
+    // enter (keys are built from valid tables whose tail words are zero, so
+    // the chain length has to match the arity).
+    const bf::tt_words seven{base[0], base[1], 0, 0};
+    EXPECT_EQ(trigger_cache::mix_key(seven, 0b11, 7),
+              trigger_cache::mix_key(bf::tt_words{base[0], base[1], 99, 99},
+                                     0b11, 7));
+    EXPECT_NE(trigger_cache::mix_key(seven, 0b11, 7),
+              trigger_cache::mix_key(bf::tt_words{base[0], base[1] ^ 1, 0, 0},
+                                     0b11, 7));
+
+    // Low-bit balance over a stream of word-0-identical functions — the
+    // exact shape the old mixer degenerated on (every key identical).
+    std::uint64_t state = 42;
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 4096; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const bf::tt_words words{0x6996966996696996ull, state,
+                                 state * 0x9e3779b97f4a7c15ull, ~state};
+        keys.push_back(trigger_cache::mix_key(words, 0b101, 8));
+    }
+    std::sort(keys.begin(), keys.end());
+    EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+    std::vector<std::size_t> load(64, 0);
+    for (std::uint64_t k : keys) ++load[k & 63];
+    const double expected = static_cast<double>(keys.size()) / 64.0;
+    EXPECT_LT(static_cast<double>(
+                  *std::max_element(load.begin(), load.end())),
+              expected * 1.6);
+}
+
+TEST(TriggerCache, WordZeroAliasedWideMastersGetDistinctTriggers) {
+    // The aliasing scenario end-to-end: f1 = x0 (expressed over 7 pins) and
+    // f2 = x0 XOR x6 share word 0 exactly.  A cache keyed on bare word-0
+    // bits would hand f2 the trigger cached for f1 (constant 1 over {x0});
+    // the multiword key must keep them apart in both cache flavors.
+    const bf::truth_table f1 = bf::truth_table::variable(7, 0);
+    const bf::truth_table f2 =
+        f1 ^ bf::truth_table::variable(7, 6);
+    ASSERT_EQ(f1.bits(), f2.bits());  // word 0 agrees by construction
+    ASSERT_NE(f1.words(), f2.words());
+
+    trigger_cache cache;
+    const bf::truth_table t1 = cache.exact(f1, 0b1);
+    const bf::truth_table t2 = cache.exact(f2, 0b1);
+    EXPECT_TRUE(t1.is_constant_one());   // x0 alone determines f1
+    EXPECT_TRUE(t2.is_constant_zero());  // but never f2
+    EXPECT_EQ(t1, exact_trigger_function(f1, 0b1));
+    EXPECT_EQ(t2, exact_trigger_function(f2, 0b1));
+
+    // And the support {x0, x6} fully determines f2.
+    EXPECT_TRUE(cache.exact(f2, 0b1000001).is_constant_one());
 }
 
 }  // namespace

@@ -56,7 +56,7 @@ TEST(NpnCanonicalize, InvariantUnderNpnTransforms) {
         for (int v = 0; v < 4; ++v) witness[static_cast<std::size_t>(v)] = canon.perm[v];
         bf::truth_table w = f.negate_inputs(canon.input_neg).permute(witness);
         if (canon.output_neg) w = ~w;
-        ASSERT_EQ(w.bits(), canon.bits);
+        ASSERT_EQ(w.words(), canon.bits);
 
         for (int variant = 0; variant < 20; ++variant) {
             std::vector<int> perm = {0, 1, 2, 3};
@@ -75,8 +75,8 @@ TEST(NpnCanonicalize, InvariantUnderNpnTransforms) {
 TEST(NpnCanonicalize, ClassCountsOverTheFullLut4Space) {
     // The counts the whole scheme rests on: 2^16 functions collapse to 3984
     // permutation classes and 222 NPN classes.
-    std::set<std::uint64_t> p_classes;
-    std::set<std::uint64_t> npn_classes;
+    std::set<bf::tt_words> p_classes;
+    std::set<bf::tt_words> npn_classes;
     for (std::uint32_t f = 0; f <= 0xffffu; ++f) {
         const bf::truth_table t(4, f);
         p_classes.insert(trigger_cache::canonicalize(t).bits);

@@ -30,9 +30,13 @@ TEST(TruthTable, VariableProjection) {
 }
 
 TEST(TruthTable, RejectsBadArity) {
-    EXPECT_THROW(truth_table(7), std::invalid_argument);
+    EXPECT_THROW(truth_table(9), std::invalid_argument);
     EXPECT_THROW(truth_table(-1), std::invalid_argument);
     EXPECT_THROW(truth_table(2, 0x10), std::invalid_argument);  // bit 4 of a 2-var table
+    // Word-array construction enforces the same row bound: a 7-var table
+    // spans 2 words, so words 2..3 must be zero.
+    EXPECT_THROW(truth_table(7, tt_words{0, 0, 1, 0}), std::invalid_argument);
+    EXPECT_NO_THROW(truth_table(7, tt_words{~0ull, 42, 0, 0}));
 }
 
 TEST(TruthTable, FullAdderCarryMatchesPaperTable1) {
@@ -169,9 +173,10 @@ std::uint64_t next_state(std::uint64_t& s) {
 }
 
 truth_table random_table(int n, std::uint64_t& s) {
-    const std::uint64_t mask =
-        n == 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << n)) - 1);
-    return truth_table(n, next_state(s) & mask);
+    tt_words words{};
+    for (int w = 0; w < words_for(n); ++w) words[w] = next_state(s);
+    if (n < k_word_vars) words[0] &= (std::uint64_t{1} << (1u << n)) - 1;
+    return truth_table(n, words);
 }
 
 TEST(TruthTableKernels, VarMasksAreTheProjectionTables) {
@@ -224,9 +229,12 @@ TEST(TruthTableKernels, DependsOnAndSupportMatchCofactors) {
 TEST(TruthTableKernels, FoldFreeVarsIsTheQuantifierPair) {
     // Conjunctive fold = universal quantification over the free variables,
     // disjunctive fold = existential, evaluated per support assignment.
+    // Exhaustive over every support up to the single-word limit here; the
+    // multiword (7-8 var) folds are oracle-checked with a sampled-support
+    // budget in test_multiword_props.cpp.
     std::uint64_t s = 3;
     for (int trial = 0; trial < 100; ++trial) {
-        for (int n = 2; n <= k_max_vars; ++n) {
+        for (int n = 2; n <= k_word_vars; ++n) {
             const truth_table f = random_table(n, s);
             const std::uint32_t all = (1u << n) - 1;
             for (std::uint32_t support = 0; support <= all; ++support) {

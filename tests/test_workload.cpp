@@ -54,7 +54,8 @@ TEST(Workload, PresetsProduceValidStructure) {
             const workload_params params = scenario_params(s, gates, 11);
             const nl::netlist netlist = generate(params);  // generate() validates
             EXPECT_EQ(netlist.num_luts(), gates) << to_string(s);
-            EXPECT_TRUE(netlist.respects_fanin_limit(4)) << to_string(s);
+            EXPECT_TRUE(netlist.respects_fanin_limit(params.max_arity))
+                << to_string(s);
             EXPECT_EQ(netlist.inputs().size(), params.num_inputs) << to_string(s);
             const std::size_t expect_latches = static_cast<std::size_t>(
                 params.latch_fraction * static_cast<double>(gates) + 0.5);
@@ -81,7 +82,7 @@ TEST(Workload, RejectsUnsatisfiableParams) {
     p.num_inputs = 1;
     EXPECT_THROW(generate(p), std::invalid_argument);
     p = workload_params{};
-    p.max_arity = 5;
+    p.max_arity = 9;  // beyond the 8-variable truth-table space
     EXPECT_THROW(generate(p), std::invalid_argument);
     p = workload_params{};
     p.arity_weights = {0, 0, 0, 0};

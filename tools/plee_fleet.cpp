@@ -8,7 +8,8 @@
 //   --circuits X   fleet contents: a count (synthetic workloads), "itc99",
 //                  or a comma-separated list of benchmark ids  (default 8)
 //   --scenario S   synthetic scenario preset: random-dag | datapath-like |
-//                  control-fsm | wide-adder | mixed           (default mixed)
+//                  control-fsm | wide-adder | lut6-dag | lut8-datapath |
+//                  mixed                                      (default mixed)
 //   --gates G      LUTs per synthetic netlist                 (default 150)
 //   --seed S       generator + stimulus seed                  (default fixed)
 //   --threads N    worker pool size, 0 = hardware_concurrency (default 0)
