@@ -1,12 +1,18 @@
 #include "ee/concurrent_cache.hpp"
 
 #include "ee/trigger_search.hpp"
+#include "fault/injector.hpp"
 
 namespace plee::ee {
 
 bf::truth_table concurrent_trigger_cache::exact(const bf::truth_table& master,
                                                 std::uint32_t support) {
     const int n = master.num_vars();
+    // Fault-injection point for the shared memo: the site is the lookup key
+    // itself, so within a fault scope ("job#attempt") the same lookup always
+    // decides the same way regardless of which thread performs it.
+    fault::injector::instance().check(
+        "cache.lookup", trigger_cache::mix_key(master.words(), support, n));
 
     // Level 1: one canonicalization per concrete function, fleet-wide.  The
     // (expensive) canonicalization runs inside the shard lock so concurrent

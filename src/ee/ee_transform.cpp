@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "ee/trigger_cache.hpp"
+#include "fault/injector.hpp"
+#include "rt/errors.hpp"
 
 namespace plee::ee {
 
@@ -21,13 +23,21 @@ struct search_job {
 /// shared counter, writing each best candidate to its own slot — the output
 /// is position-addressed, so any work interleaving yields the same result.
 void search_worker(const pl::pl_netlist& pl, const std::vector<search_job>& jobs,
-                   const search_options& search, std::atomic<std::size_t>& next,
+                   const ee_options& options, std::atomic<std::size_t>& next,
                    trigger_memo& cache,
                    std::vector<std::optional<trigger_candidate>>& best) {
+    const search_options& search = options.search;
+    // Worker threads have no fault scope of their own; adopt the job's so
+    // injected ee.search/cache.lookup decisions are per-job deterministic.
+    fault::injector::scope scope(fault::injector::hash(options.context));
     constexpr std::size_t k_chunk = 16;
     for (;;) {
         const std::size_t begin = next.fetch_add(k_chunk, std::memory_order_relaxed);
         if (begin >= jobs.size()) return;
+        if (options.cancel != nullptr && options.cancel->expired()) {
+            throw job_timeout("ee.search", options.context, begin);
+        }
+        fault::injector::instance().check("ee.search", begin);
         const std::size_t end = std::min(begin + k_chunk, jobs.size());
         for (std::size_t i = begin; i < end; ++i) {
             best[i] = find_best_trigger(pl.gate(jobs[i].master).function,
@@ -76,7 +86,7 @@ ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
     trigger_memo* shared = options.shared_cache;
     if (threads <= 1) {
         std::atomic<std::size_t> next{0};
-        search_worker(pl, jobs, options.search, next,
+        search_worker(pl, jobs, options, next,
                       shared != nullptr ? *shared : cache, best);
     } else {
         std::vector<trigger_cache> caches(threads);
@@ -96,14 +106,14 @@ ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
         for (unsigned t = 1; t < threads; ++t) {
             pool.emplace_back([&, t] {
                 try {
-                    search_worker(pl, jobs, options.search, next, leg_cache(t), best);
+                    search_worker(pl, jobs, options, next, leg_cache(t), best);
                 } catch (...) {
                     errors[t] = std::current_exception();
                 }
             });
         }
         try {
-            search_worker(pl, jobs, options.search, next, leg_cache(0), best);
+            search_worker(pl, jobs, options, next, leg_cache(0), best);
         } catch (...) {
             errors[0] = std::current_exception();
         }

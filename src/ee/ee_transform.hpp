@@ -18,6 +18,7 @@
 
 #include "ee/trigger_search.hpp"
 #include "plogic/pl_netlist.hpp"
+#include "rt/cancel.hpp"
 
 namespace plee::ee {
 
@@ -40,6 +41,14 @@ struct ee_options {
     /// unchanged; the pass-local cache counters in ee_stats read zero and
     /// the shared cache's owner carries the fleet-level counters instead.
     trigger_memo* shared_cache = nullptr;
+    /// Cooperative cancellation: every worker polls the token at each
+    /// work-queue chunk and raises plee::job_timeout when it has expired, so
+    /// a pathological search stops within one chunk of extra work.  Not
+    /// owned; null = never cancelled.
+    cancel_token* cancel = nullptr;
+    /// Job context for cancellation messages and fault-injection scoping
+    /// ("b05#2" = job id, attempt 2).  Empty is fine for standalone passes.
+    std::string context;
 };
 
 /// One applied master/trigger pair, for reporting.

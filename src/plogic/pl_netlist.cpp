@@ -113,7 +113,9 @@ gate_id pl_netlist::attach_trigger(gate_id master, const bf::truth_table& fn,
     // a single-token cycle.
     int pin = 0;
     for (int master_pin : pins) {
-        const pl_edge& src_edge = edges_[gates_[master].data_in[static_cast<std::size_t>(master_pin)]];
+        // By value: add_data_edge below grows edges_ and would invalidate a
+        // reference into it before init_token is read for the ack edge.
+        const pl_edge src_edge = edges_[gates_[master].data_in[static_cast<std::size_t>(master_pin)]];
         const gate_id producer = src_edge.from;
         add_data_edge(producer, trig, pin++, src_edge.init_token, src_edge.init_value);
         add_ack_edge(trig, producer, !src_edge.init_token);

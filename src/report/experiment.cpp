@@ -1,6 +1,8 @@
 #include "report/experiment.hpp"
 
+#include "fault/injector.hpp"
 #include "report/json.hpp"
+#include "rt/errors.hpp"
 
 namespace plee::report {
 
@@ -10,21 +12,42 @@ experiment_row run_ee_experiment(const std::string& description,
     experiment_row row;
     row.description = description;
 
+    // One failure context for the whole run: typed errors and injected-fault
+    // decisions key on it, so a fleet log line names the job and attempt.
+    const std::string context =
+        options.fault_context.empty() ? description : options.fault_context;
+    fault::injector::scope fault_scope(fault::injector::hash(context));
+    sim::measure_options measure = options.measure;
+    measure.sim.label = context;
+    measure.sim.cancel = options.cancel;
+    ee::ee_options ee_opts = options.ee;
+    ee_opts.cancel = options.cancel;
+    ee_opts.context = context;
+    const auto stage_gate = [&](const char* stage, std::uint64_t site) {
+        if (options.cancel != nullptr && options.cancel->expired()) {
+            throw job_timeout(stage, context, site);
+        }
+    };
+
     // Baseline: plain Phased Logic.
+    stage_gate("pipeline.map", 0);
+    fault::injector::instance().check("synth.map", 0);
     pl::map_result mapped = pl::map_to_phased_logic(netlist, options.map);
     row.pl_gates = mapped.pl.num_pl_gates();
     const sim::measure_result base =
-        sim::measure_average_delay(mapped.pl, &netlist, options.measure);
+        sim::measure_average_delay(mapped.pl, &netlist, measure);
     row.delay_no_ee = base.avg_delay;
     row.stats_no_ee = base.stats;
     row.sim_wall_ms += base.sim_wall_ms;
 
     // Early Evaluation applied to the same mapping.
+    stage_gate("pipeline.map", 1);
+    fault::injector::instance().check("synth.map", 1);
     pl::map_result mapped_ee = pl::map_to_phased_logic(netlist, options.map);
-    row.ee_detail = ee::apply_early_evaluation(mapped_ee.pl, options.ee);
+    row.ee_detail = ee::apply_early_evaluation(mapped_ee.pl, ee_opts);
     row.ee_gates = mapped_ee.pl.num_trigger_gates();
     const sim::measure_result with_ee =
-        sim::measure_average_delay(mapped_ee.pl, &netlist, options.measure);
+        sim::measure_average_delay(mapped_ee.pl, &netlist, measure);
     row.delay_ee = with_ee.avg_delay;
     row.stats_ee = with_ee.stats;
     row.sim_wall_ms += with_ee.sim_wall_ms;

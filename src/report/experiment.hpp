@@ -15,6 +15,7 @@
 #include "ee/ee_transform.hpp"
 #include "netlist/netlist.hpp"
 #include "plogic/pl_mapper.hpp"
+#include "rt/cancel.hpp"
 #include "sim/measure.hpp"
 
 namespace plee::report {
@@ -23,6 +24,14 @@ struct experiment_options {
     pl::map_options map{};
     ee::ee_options ee{};
     sim::measure_options measure{};
+    /// Cooperative cancellation for the whole pipeline run: polled between
+    /// stages, inside the EE search chunks and inside the simulator event
+    /// loops.  Expiry raises plee::job_timeout.  Not owned.
+    cancel_token* cancel = nullptr;
+    /// Failure context threaded into every typed error and fault-injection
+    /// scope; the fleet runner sets "jobid#attempt", standalone runs default
+    /// to the row description.
+    std::string fault_context;
 };
 
 struct experiment_row {

@@ -6,7 +6,10 @@
 #include <exception>
 #include <thread>
 
+#include "bool/splitmix64.hpp"
 #include "report/json.hpp"
+#include "rt/errors.hpp"
+#include "sim/errors.hpp"
 
 namespace plee::runner {
 
@@ -17,30 +20,111 @@ double ms_between(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Pulls job indices from the shared counter and runs the full pipeline on
-/// each.  Results are slot-addressed by job index, so any interleaving
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// Runs one job to its terminal status: at most 1 + max_retries pipeline
+/// attempts, each under a fresh deadline-armed cancel token.  Fills the
+/// slot's row/status/error/attempts; stores the final failure for
+/// fail_fast.  Never throws.
+void run_job(const fleet_job& job, const report::experiment_options& experiment,
+             const fleet_options& options, job_result& out,
+             std::exception_ptr& error) {
+    const unsigned max_attempts = options.max_retries + 1;
+    const auto start = std::chrono::steady_clock::now();
+    out.id = job.id;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        out.attempts = attempt;
+        cancel_token token;
+        if (options.job_deadline_ms > 0.0) {
+            token.set_deadline_after_ms(options.job_deadline_ms);
+        }
+        report::experiment_options opts = experiment;
+        opts.cancel = &token;
+        opts.fault_context = job.id + "#" + std::to_string(attempt);
+        if (job.max_events != 0) opts.measure.sim.max_events = job.max_events;
+        try {
+            out.row =
+                report::run_ee_experiment(job.description, job.netlist, opts);
+            out.status = attempt > 1 ? job_status::retried_ok : job_status::ok;
+            out.error.clear();
+            error = nullptr;
+            break;
+        } catch (const job_timeout& e) {
+            // Permanent by policy: the pipeline is deterministic and a retry
+            // would multiply the wall time the deadline exists to bound.
+            out.status = job_status::timed_out;
+            out.error = e.what();
+            error = std::current_exception();
+            break;
+        } catch (const sim::budget_exhausted& e) {
+            out.status = job_status::budget_exhausted;
+            out.error = e.what();
+            error = std::current_exception();
+            break;
+        } catch (const std::exception& e) {
+            out.status = job_status::failed;
+            out.error = e.what();
+            error = std::current_exception();
+            if (classify_exception(error) == failure_class::transient &&
+                attempt < max_attempts) {
+                const double backoff_ms = retry_backoff_ms(
+                    job.id, attempt, options.retry_backoff_base_ms);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(backoff_ms));
+                continue;
+            }
+            break;
+        }
+    }
+    out.wall_ms = ms_between(start, std::chrono::steady_clock::now());
+}
+
+/// Pulls job indices from the shared counter and runs each to its terminal
+/// status.  Results are slot-addressed by job index, so any interleaving
 /// produces the same fleet_result.
 void fleet_worker(const std::vector<fleet_job>& jobs,
                   const report::experiment_options& experiment,
-                  std::atomic<std::size_t>& next,
+                  const fleet_options& options, std::atomic<std::size_t>& next,
                   std::vector<job_result>& results,
                   std::vector<std::exception_ptr>& errors) {
     for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs.size()) return;
-        const auto start = std::chrono::steady_clock::now();
-        try {
-            results[i].id = jobs[i].id;
-            results[i].row = report::run_ee_experiment(jobs[i].description,
-                                                       jobs[i].netlist, experiment);
-        } catch (...) {
-            errors[i] = std::current_exception();
-        }
-        results[i].wall_ms = ms_between(start, std::chrono::steady_clock::now());
+        run_job(jobs[i], experiment, options, results[i], errors[i]);
     }
 }
 
 }  // namespace
+
+const char* to_string(job_status status) {
+    switch (status) {
+        case job_status::ok: return "ok";
+        case job_status::retried_ok: return "retried_ok";
+        case job_status::failed: return "failed";
+        case job_status::timed_out: return "timed_out";
+        case job_status::budget_exhausted: return "budget_exhausted";
+    }
+    return "?";
+}
+
+double retry_backoff_ms(const std::string& job_id, unsigned attempt,
+                        double base_ms) {
+    if (base_ms <= 0.0) return 0.0;
+    const unsigned shift = std::min(attempt > 0 ? attempt - 1 : 0u, 20u);
+    const double expo = base_ms * static_cast<double>(std::uint64_t{1} << shift);
+    const std::uint64_t mixed = bf::splitmix64(fnv1a(job_id) ^ attempt);
+    const double jitter =
+        base_ms * (static_cast<double>(mixed >> 11) *
+                   (1.0 / 9007199254740992.0));  // uniform in [0, base)
+    return expo + jitter;
+}
 
 fleet_result run_fleet(const std::vector<fleet_job>& jobs,
                        const fleet_options& options) {
@@ -65,25 +149,42 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
     std::atomic<std::size_t> next{0};
     const auto start = std::chrono::steady_clock::now();
     if (threads <= 1) {
-        fleet_worker(jobs, experiment, next, fleet.results, errors);
+        fleet_worker(jobs, experiment, options, next, fleet.results, errors);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(threads - 1);
         for (unsigned t = 1; t < threads; ++t) {
             pool.emplace_back([&] {
-                fleet_worker(jobs, experiment, next, fleet.results, errors);
+                fleet_worker(jobs, experiment, options, next, fleet.results,
+                             errors);
             });
         }
-        fleet_worker(jobs, experiment, next, fleet.results, errors);
+        fleet_worker(jobs, experiment, options, next, fleet.results, errors);
         for (std::thread& t : pool) t.join();
     }
     fleet.wall_ms = ms_between(start, std::chrono::steady_clock::now());
 
-    for (const std::exception_ptr& e : errors) {
-        if (e) std::rethrow_exception(e);
+    if (options.fail_fast) {
+        for (const std::exception_ptr& e : errors) {
+            if (e) std::rethrow_exception(e);
+        }
     }
 
     for (const job_result& r : fleet.results) {
+        if (r.attempts > 1) ++fleet.jobs_retried;
+        switch (r.status) {
+            case job_status::ok:
+            case job_status::retried_ok: ++fleet.jobs_ok; break;
+            case job_status::failed: ++fleet.jobs_failed; break;
+            case job_status::timed_out: ++fleet.jobs_timed_out; break;
+            case job_status::budget_exhausted:
+                ++fleet.jobs_budget_exhausted;
+                break;
+        }
+        // Aggregates take succeeded rows only: a failed job's row is
+        // default-initialized (possibly half a pipeline) and must not skew
+        // fleet gate/event/delay figures.
+        if (!job_succeeded(r.status)) continue;
         fleet.total_pl_gates += r.row.pl_gates;
         fleet.total_ee_gates += r.row.ee_gates;
         fleet.total_triggers += r.row.ee_detail.triggers_added;
@@ -93,7 +194,11 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         fleet.total_sim_wall_ms += r.row.sim_wall_ms;
         fleet.cache_hits += r.row.ee_detail.cache_hits;
         fleet.cache_misses += r.row.ee_detail.cache_misses;
-        fleet.cache_entries += r.row.ee_detail.cache_entries;
+        // Private per-job memos overlap entry-for-entry on similar circuits;
+        // the fleet figure keeps the largest memo instead of a
+        // double-counting sum (see fleet_result::cache_entries).
+        fleet.cache_entries =
+            std::max(fleet.cache_entries, r.row.ee_detail.cache_entries);
     }
     if (options.share_trigger_cache) {
         // Per-job counters read zero under a shared memo; the fleet totals
@@ -110,6 +215,12 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
     j.set("threads", report::json::number(static_cast<std::int64_t>(fleet.threads)));
     j.set("shared_cache", report::json::boolean(fleet.shared_cache));
     j.set("netlists", report::json::number(fleet.results.size()));
+    j.set("jobs_ok", report::json::number(fleet.jobs_ok));
+    j.set("jobs_failed", report::json::number(fleet.jobs_failed));
+    j.set("jobs_timed_out", report::json::number(fleet.jobs_timed_out));
+    j.set("jobs_budget_exhausted",
+          report::json::number(fleet.jobs_budget_exhausted));
+    j.set("jobs_retried", report::json::number(fleet.jobs_retried));
     j.set("wall_ms", report::json::number(fleet.wall_ms));
     j.set("netlists_per_s", report::json::number(fleet.netlists_per_s()));
     j.set("sweeps_per_s", report::json::number(fleet.sweeps_per_s()));
@@ -133,6 +244,10 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
             // memo; the fleet-level counters above are authoritative.
             report::json row = report::to_json(r.row, !fleet.shared_cache);
             row.set("id", report::json::str(r.id));
+            row.set("status", report::json::str(to_string(r.status)));
+            row.set("attempts",
+                    report::json::number(static_cast<std::int64_t>(r.attempts)));
+            if (!r.error.empty()) row.set("error", report::json::str(r.error));
             row.set("wall_ms", report::json::number(r.wall_ms));
             rows.push(std::move(row));
         }

@@ -14,6 +14,17 @@
 // fleet result — including every experiment row — is bit-identical for any
 // thread count and any work interleaving.  Only the wall-clock figures and
 // (with a shared cache) which circuit pays each canonical miss vary.
+//
+// Failure contract (graceful degradation): one pathological job must not
+// discard the rest of the fleet.  Each job runs under its own cancel token
+// (deadline = fleet_options::job_deadline_ms) and lands in one of the
+// job_status states; failed/timed-out/budget-exhausted jobs keep their
+// error text and are skipped by every fleet aggregate, and the fleet
+// completes with partial results.  Transient-classified failures (see
+// rt/errors.hpp; in practice injected faults and future external
+// resources) are retried up to max_retries times with deterministic
+// exponential backoff.  fail_fast restores the old throw-after-join
+// behavior.  See src/runner/README.md for the full semantics.
 
 #pragma once
 
@@ -32,7 +43,34 @@ struct fleet_job {
     std::string id;           ///< short label ("b05", "datapath-like/3", ...)
     std::string description;  ///< free-form, lands in the experiment row
     nl::netlist netlist;
+    /// Per-job override of the simulator event budget (0 = inherit
+    /// experiment.measure.sim.max_events).  Lets one suspect job carry a
+    /// tight budget without constraining the whole fleet.
+    std::uint64_t max_events = 0;
 };
+
+/// Terminal state of one job after all its attempts.
+enum class job_status : std::uint8_t {
+    ok,                ///< first attempt succeeded
+    retried_ok,        ///< succeeded after >= 1 transient-failure retries
+    failed,            ///< permanent failure (or retries exhausted)
+    timed_out,         ///< job_deadline_ms expired (cooperative cancel)
+    budget_exhausted,  ///< simulator event budget tripped
+};
+
+const char* to_string(job_status status);
+
+/// ok and retried_ok are the states whose rows enter fleet aggregates.
+inline bool job_succeeded(job_status status) {
+    return status == job_status::ok || status == job_status::retried_ok;
+}
+
+/// Backoff before retrying `job_id` after failed attempt `attempt`
+/// (1-based): base * 2^(attempt-1) plus a deterministic per-(job, attempt)
+/// jitter in [0, base) — exponential, decorrelated across jobs, and
+/// reproducible run-to-run (no RNG state).
+double retry_backoff_ms(const std::string& job_id, unsigned attempt,
+                        double base_ms);
 
 struct fleet_options {
     /// Worker threads sharding the job list.  0 = one per hardware thread.
@@ -48,12 +86,28 @@ struct fleet_options {
     /// Inner EE-search threads per job.  The outer job shards already
     /// saturate the machine, so the default keeps each pass sequential.
     unsigned ee_threads_per_job = 1;
+    /// Per-job wall-clock deadline in ms (0 = none).  Each attempt gets a
+    /// fresh cancel token armed with this deadline; the pipeline stages poll
+    /// it cooperatively, so a hung job lands in timed_out within a bounded
+    /// overshoot (one cancel-check interval) instead of hanging its worker.
+    double job_deadline_ms = 0.0;
+    /// Extra attempts granted to transient-classified failures (permanent
+    /// failures, timeouts and budget exhaustion never retry).
+    unsigned max_retries = 0;
+    /// Base of the exponential retry backoff (see retry_backoff_ms).
+    double retry_backoff_base_ms = 5.0;
+    /// Restore the pre-robustness contract: after all workers join, rethrow
+    /// the first failed job's exception instead of returning partial results.
+    bool fail_fast = false;
 };
 
 struct job_result {
     std::string id;
-    report::experiment_row row;
-    double wall_ms = 0.0;  ///< this job's pipeline wall time
+    report::experiment_row row;  ///< default-initialized unless the job succeeded
+    double wall_ms = 0.0;   ///< this job's wall time across all its attempts
+    job_status status = job_status::ok;
+    std::string error;      ///< what() of the final failure; empty on success
+    unsigned attempts = 1;  ///< pipeline runs consumed (1 = no retries)
 };
 
 struct fleet_result {
@@ -62,7 +116,19 @@ struct fleet_result {
     bool shared_cache = true;  ///< whether one fleet-wide trigger memo ran
     double wall_ms = 0.0;      ///< whole-fleet wall time
 
-    // Aggregates over all jobs.
+    // Outcome census.  jobs_ok counts ok + retried_ok; jobs_retried counts
+    // every job whose attempts > 1 (including ones that still failed).
+    std::size_t jobs_ok = 0;
+    std::size_t jobs_failed = 0;
+    std::size_t jobs_timed_out = 0;
+    std::size_t jobs_budget_exhausted = 0;
+    std::size_t jobs_retried = 0;
+
+    bool all_ok() const { return jobs_ok == results.size(); }
+
+    // Aggregates over the *succeeded* jobs only — failed jobs contribute
+    // neither gates nor events, so one bad netlist cannot skew the fleet
+    // figures.
     std::size_t total_pl_gates = 0;
     std::size_t total_ee_gates = 0;
     std::size_t total_triggers = 0;
@@ -75,9 +141,14 @@ struct fleet_result {
     /// simulator engine itself.
     double total_sim_wall_ms = 0.0;
     /// Trigger-cache counters: the shared concurrent cache's totals when
-    /// sharing, the summed per-job counters otherwise.
+    /// sharing, the summed per-job lookup counters otherwise.
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    /// Distinct cached triggers.  Sharing: the concurrent cache's entry
+    /// count.  Not sharing: the *largest* per-job memo — private caches
+    /// warmed by similar circuits hold overlapping entries, so summing them
+    /// would double-count every shared class; the max is an exact figure for
+    /// identical jobs and a distinct-entry lower bound otherwise.
     std::size_t cache_entries = 0;
 
     double cache_hit_rate() const {
@@ -88,8 +159,7 @@ struct fleet_result {
     }
     double netlists_per_s() const {
         return wall_ms <= 0.0 ? 0.0
-                              : 1000.0 * static_cast<double>(results.size()) /
-                                    wall_ms;
+                              : 1000.0 * static_cast<double>(jobs_ok) / wall_ms;
     }
     double sweeps_per_s() const {
         return wall_ms <= 0.0 ? 0.0
@@ -106,14 +176,16 @@ struct fleet_result {
     }
 };
 
-/// Runs every job through the pipeline across the worker pool.  Propagates
-/// the first job exception after all workers join.
+/// Runs every job through the pipeline across the worker pool.  Always
+/// returns all jobs.size() results (graceful degradation — inspect
+/// job_result::status); with options.fail_fast, rethrows the first failed
+/// job's exception after all workers join instead.
 fleet_result run_fleet(const std::vector<fleet_job>& jobs,
                        const fleet_options& options = {});
 
-/// Fleet-level summary + per-job rows as a JSON object (the schema of
-/// BENCH_fleet.json).  `include_rows = false` emits the summary only, for
-/// embedding next to an existing row dump.
+/// Fleet-level summary (status census included) + per-job rows as a JSON
+/// object (the schema of BENCH_fleet.json).  `include_rows = false` emits
+/// the summary only, for embedding next to an existing row dump.
 report::json to_json(const fleet_result& fleet, bool include_rows = true);
 
 }  // namespace plee::runner

@@ -1,0 +1,66 @@
+// errors.hpp — typed simulator failures.
+//
+// The simulator's three deliberate runtime failures — event-budget
+// exhaustion, deadlock, and the dynamic marked-graph/EE invariant checks —
+// were indistinguishable runtime_error/logic_errors before; a fleet log full
+// of "event budget exhausted" lines could not say which circuit, how far it
+// got, or on which engine.  Each type here carries the circuit label
+// (sim_options::label, set by the fleet runner to the job id), the event
+// count at failure and the queue engine, and renders them into what(), so a
+// single log line is actionable.  All are permanent (the simulator is
+// deterministic given its stimulus).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/errors.hpp"
+
+namespace plee::sim {
+
+/// Base simulator failure: label + events + engine context.
+class sim_error : public plee_error {
+public:
+    sim_error(const std::string& message, const std::string& label,
+              std::uint64_t events, const char* queue)
+        : plee_error("pl_simulator[" + (label.empty() ? "?" : label) +
+                         "]: " + message + " (after " + std::to_string(events) +
+                         " events, " + queue + " queue)",
+                     failure_class::permanent),
+          events_(events) {}
+
+    std::uint64_t events() const { return events_; }
+
+private:
+    std::uint64_t events_;
+};
+
+/// sim_options::max_events tripped — the runaway guard, not a logic error.
+class budget_exhausted : public sim_error {
+public:
+    budget_exhausted(const std::string& label, std::uint64_t events,
+                     const char* queue)
+        : sim_error("event budget exhausted", label, events, queue) {}
+};
+
+/// The event queue drained before every wave stabilized; the message embeds
+/// the liveness diagnostic (waves stable, starving gates, first example).
+class deadlock_error : public sim_error {
+public:
+    deadlock_error(const std::string& label, const std::string& diagnostic,
+                   std::uint64_t events, const char* queue)
+        : sim_error("deadlock — " + diagnostic, label, events, queue) {}
+};
+
+/// Dynamic marked-graph safety or EE invariant violation — the simulator
+/// doubling as a checker of the theory; always a bug in the netlist or the
+/// transform, never recoverable.
+class invariant_violation : public sim_error {
+public:
+    invariant_violation(const std::string& message, const std::string& label,
+                        std::uint64_t events, const char* queue)
+        : sim_error(message, label, events, queue) {}
+};
+
+}  // namespace plee::sim

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "netlist/sync_sim.hpp"
+#include "rt/errors.hpp"
 
 namespace plee::sim {
 
@@ -44,10 +45,14 @@ measure_result measure_average_delay(const pl::pl_netlist& pl,
             if (expected != waves[w].outputs) ++result.mismatched_waves;
         }
         if (result.mismatched_waves > 0 && options.require_functional_match) {
-            throw std::logic_error(
-                "measure_average_delay: PL outputs diverge from the synchronous "
-                "golden model on " + std::to_string(result.mismatched_waves) +
-                " waves");
+            throw plee_error(
+                "measure_average_delay[" +
+                    (options.sim.label.empty() ? "?" : options.sim.label) +
+                    "]: PL outputs diverge from the synchronous golden model "
+                    "on " +
+                    std::to_string(result.mismatched_waves) + " of " +
+                    std::to_string(waves.size()) + " waves",
+                failure_class::permanent);
         }
     }
 

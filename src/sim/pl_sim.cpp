@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
+#include "sim/errors.hpp"
+
 namespace plee::sim {
 
 namespace {
@@ -40,7 +43,8 @@ const char* to_string(queue_kind kind) {
 queue_kind queue_kind_from_string(const std::string& name) {
     if (name == "heap" || name == "binary_heap") return queue_kind::binary_heap;
     if (name == "calendar") return queue_kind::calendar;
-    throw std::invalid_argument("unknown queue kind: " + name);
+    throw std::invalid_argument("unknown queue kind: '" + name +
+                                "' (expected heap | binary_heap | calendar)");
 }
 
 pl_simulator::pl_simulator(const pl::pl_netlist& pl, sim_options options)
@@ -110,9 +114,10 @@ void pl_simulator::schedule(pl::edge_id edge, bool value, double time) {
 void pl_simulator::place(pl::edge_id edge, bool value, double time) {
     token_slot& slot = tokens_[edge];
     if (slot.present) {
-        throw std::logic_error(
-            "pl_simulator: token deposited onto an occupied edge " +
-            std::to_string(edge) + " (marked-graph safety violation)");
+        throw invariant_violation(
+            "token deposited onto an occupied edge " + std::to_string(edge) +
+                " (marked-graph safety violation)",
+            options_.label, stats_.events, "heap");
     }
     slot = {true, value, time};
     const pl::pl_edge& e = pl_.edge(edge);
@@ -269,15 +274,17 @@ void pl_simulator::try_fire(pl::gate_id g) {
                 const bool trig_value =
                     (d.trig_fn_bits[packed >> 6] >> (packed & 63)) & 1u;
                 if (trig_value != efire_value) {
-                    throw std::logic_error(
-                        "pl_simulator: efire token disagrees with the trigger "
-                        "function (EE invariant violated)");
+                    throw invariant_violation(
+                        "efire token disagrees with the trigger function (EE "
+                        "invariant violated)",
+                        options_.label, stats_.events, "heap");
                 }
             }
             break;
         }
         default:
-            throw std::logic_error("pl_simulator: unexpected gate kind in firing");
+            throw invariant_violation("unexpected gate kind in firing",
+                                      options_.label, stats_.events, "heap");
     }
 
     const double t_ack = t_ready + options_.delays.ack_delay();
@@ -313,7 +320,13 @@ void pl_simulator::run_heap() {
 
     while (!heap_.empty() && waves_stable_ < num_waves_) {
         if (++stats_.events > options_.max_events) {
-            throw std::runtime_error("pl_simulator: event budget exhausted");
+            throw budget_exhausted(options_.label, stats_.events, "heap");
+        }
+        if ((stats_.events & (k_cancel_check_events - 1)) == 0) {
+            if (options_.cancel != nullptr && options_.cancel->expired()) {
+                throw job_timeout("sim.events", options_.label, stats_.events);
+            }
+            fault::injector::instance().check("sim.fire", stats_.events);
         }
         std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
         const deposit d = heap_.back();
@@ -331,9 +344,10 @@ void pl_simulator::place_fast(pl::edge_id edge, bool value, double time) {
     const std::uint64_t bit = std::uint64_t{1} << (edge & 63);
     const std::uint64_t present = tok_present_[word];
     if (present & bit) {
-        throw std::logic_error(
-            "pl_simulator: token deposited onto an occupied edge " +
-            std::to_string(edge) + " (marked-graph safety violation)");
+        throw invariant_violation(
+            "token deposited onto an occupied edge " + std::to_string(edge) +
+                " (marked-graph safety violation)",
+            options_.label, stats_.events, "calendar");
     }
     tok_present_[word] = present | bit;
     tok_value_[word] = value ? tok_value_[word] | bit : tok_value_[word] & ~bit;
@@ -500,15 +514,17 @@ void pl_simulator::try_fire_fast(pl::gate_id g) {
                 const bool trig_value =
                     (d.trig_fn_bits[packed >> 6] >> (packed & 63)) & 1u;
                 if (trig_value != efire_value) {
-                    throw std::logic_error(
-                        "pl_simulator: efire token disagrees with the trigger "
-                        "function (EE invariant violated)");
+                    throw invariant_violation(
+                        "efire token disagrees with the trigger function (EE "
+                        "invariant violated)",
+                        options_.label, stats_.events, "calendar");
                 }
             }
             break;
         }
         default:
-            throw std::logic_error("pl_simulator: unexpected gate kind in firing");
+            throw invariant_violation("unexpected gate kind in firing",
+                                      options_.label, stats_.events, "calendar");
     }
 
     const double t_ack = t_ready + options_.delays.ack_delay();
@@ -563,10 +579,21 @@ void pl_simulator::run_calendar() {
     // back on every exit path.
     std::uint64_t events = stats_.events;
     const std::uint64_t max_events = options_.max_events;
+    cancel_token* const cancel = options_.cancel;
     try {
         while (!calendar_.empty() && waves_stable_ < num_waves_) {
             if (++events > max_events) {
-                throw std::runtime_error("pl_simulator: event budget exhausted");
+                throw budget_exhausted(options_.label, events, "calendar");
+            }
+            if ((events & (k_cancel_check_events - 1)) == 0) {
+                // Sync the registered counter so any throw below (including
+                // from place_fast) reports an event count at most one check
+                // interval stale.
+                stats_.events = events;
+                if (cancel != nullptr && cancel->expired()) {
+                    throw job_timeout("sim.events", options_.label, events);
+                }
+                fault::injector::instance().check("sim.fire", events);
             }
             // Argument loads happen before the call, so the reference going
             // stale on an in-run push inside place_fast is harmless.
@@ -616,13 +643,16 @@ std::vector<wave_record> pl_simulator::run(
     // engine, which produces identical results.
     const bool calendar_fits = pl_.num_edges() < cal_event::k_max_edges &&
                                options_.max_events < cal_event::k_max_seq / 2;
-    if (options_.queue == queue_kind::binary_heap || !calendar_fits) {
+    const bool use_heap =
+        options_.queue == queue_kind::binary_heap || !calendar_fits;
+    if (use_heap) {
         run_heap();
     } else {
         run_calendar();
     }
     if (waves_stable_ < num_waves_) {
-        throw std::runtime_error("pl_simulator: deadlock — " + deadlock_diagnostic());
+        throw deadlock_error(options_.label, deadlock_diagnostic(),
+                             stats_.events, use_heap ? "heap" : "calendar");
     }
 
     std::vector<wave_record> records;

@@ -62,6 +62,7 @@
 
 #include "plogic/pl_flat.hpp"
 #include "plogic/pl_netlist.hpp"
+#include "rt/cancel.hpp"
 #include "sim/calendar_queue.hpp"
 #include "sim/delay_model.hpp"
 
@@ -87,10 +88,19 @@ struct sim_options {
     bool check_early_value = true;
     /// Record every data-token arrival for waveform (VCD) export.
     bool collect_trace = false;
-    /// Hard limit on processed events (runaway guard).
+    /// Hard limit on processed events (runaway guard).  Tripping it raises
+    /// sim::budget_exhausted (see sim/errors.hpp).
     std::uint64_t max_events = 100'000'000;
     /// Event-queue engine selection.
     queue_kind queue = queue_kind::calendar;
+    /// Circuit/job label embedded in every typed simulator failure, so fleet
+    /// logs can attribute a throw to its job ("b05", "datapath-like/3#2").
+    std::string label;
+    /// Cooperative cancellation: both engines poll the token once per
+    /// k_cancel_check_events processed events and raise plee::job_timeout
+    /// (with a partial event-count snapshot) when it has expired.  Not
+    /// owned; null = never cancelled.
+    cancel_token* cancel = nullptr;
 };
 
 const char* to_string(queue_kind kind);
@@ -135,8 +145,10 @@ public:
     explicit pl_simulator(const pl::pl_netlist& pl, sim_options options = {});
 
     /// Runs `vectors.size()` waves; vectors[k] holds the wave-k value of each
-    /// primary input in pl.sources() order.  Throws on deadlock, safety
-    /// violation or EE invariant failure.
+    /// primary input in pl.sources() order.  Throws the typed failures of
+    /// sim/errors.hpp: deadlock_error, budget_exhausted,
+    /// invariant_violation (safety / EE invariant), and plee::job_timeout
+    /// when options.cancel expires mid-run.
     std::vector<wave_record> run(const std::vector<std::vector<bool>>& vectors);
 
     const sim_run_stats& stats() const { return stats_; }

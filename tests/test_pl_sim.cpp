@@ -9,6 +9,7 @@
 #include "ee/ee_transform.hpp"
 #include "netlist/sync_sim.hpp"
 #include "plogic/pl_mapper.hpp"
+#include "sim/errors.hpp"
 #include "sim/measure.hpp"
 #include "synth/rtl.hpp"
 
@@ -250,7 +251,16 @@ TEST(PlSim, DeadlockDetectedOnBrokenMarking) {
     pl.add_ack_edge(g, src, false);  // never marked: the source starves
 
     pl_simulator sim(pl);
-    EXPECT_THROW(sim.run({{true}, {false}}), std::runtime_error);
+    try {
+        sim.run({{true}, {false}});
+        FAIL() << "expected sim::deadlock_error";
+    } catch (const deadlock_error& e) {
+        // The typed failure is permanent (deterministic pipeline) and its
+        // what() carries the liveness diagnostic plus the engine context.
+        EXPECT_EQ(e.classify(), failure_class::permanent);
+        EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("queue"), std::string::npos);
+    }
 }
 
 TEST(PlSim, SafetyViolationDetectedDynamically) {
@@ -277,7 +287,7 @@ TEST(PlSim, SafetyViolationDetectedDynamically) {
     opts.non_pipelined = false;
     pl_simulator sim2(pl, opts);
     EXPECT_THROW(sim2.run({{true, false}, {true, false}, {true, false}}),
-                 std::logic_error);
+                 invariant_violation);
 }
 
 }  // namespace

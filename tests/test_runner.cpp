@@ -143,17 +143,130 @@ TEST(FleetRunner, SharedCacheServesEveryCircuitFromOneMemo) {
     EXPECT_EQ(isolated.cache_misses, 2 * one.cache_misses);
 }
 
-TEST(FleetRunner, PropagatesJobFailures) {
+/// A job whose netlist fails validation at the mapping stage.
+fleet_job malformed_job(const std::string& id) {
+    fleet_job bad;
+    bad.id = id;
+    bad.description = "dangling dff";
+    bad.netlist.add_input("a");
+    bad.netlist.add_dff(nl::k_invalid_cell, false);  // never connected
+    return bad;
+}
+
+TEST(FleetRunner, GracefulDegradationKeepsSurvivors) {
     fleet_job good;
     good.id = "ok";
     good.description = "ok";
     good.netlist = wl::generate(wl::scenario_params(wl::scenario::random_dag, 20, 1));
-    fleet_job bad;
-    bad.id = "bad";
-    bad.description = "dangling dff";
-    bad.netlist.add_input("a");
-    bad.netlist.add_dff(nl::k_invalid_cell, false);  // never connected
-    EXPECT_THROW(run_fleet({good, bad}, fleet_options{}), std::exception);
+    const fleet_job bad = malformed_job("bad");
+
+    fleet_options opts;
+    opts.experiment.measure.num_vectors = 5;
+    const fleet_result fleet = run_fleet({good, bad}, opts);
+
+    ASSERT_EQ(fleet.results.size(), 2u);
+    EXPECT_EQ(fleet.results[0].status, job_status::ok);
+    EXPECT_TRUE(fleet.results[0].error.empty());
+    EXPECT_EQ(fleet.results[1].status, job_status::failed);
+    EXPECT_FALSE(fleet.results[1].error.empty());
+    EXPECT_EQ(fleet.results[1].attempts, 1u);  // validation errors are permanent
+
+    EXPECT_FALSE(fleet.all_ok());
+    EXPECT_EQ(fleet.jobs_ok, 1u);
+    EXPECT_EQ(fleet.jobs_failed, 1u);
+    EXPECT_EQ(fleet.jobs_timed_out, 0u);
+    EXPECT_EQ(fleet.jobs_retried, 0u);
+
+    // The failed job's default-initialized row stays out of the aggregates.
+    EXPECT_EQ(fleet.total_pl_gates, fleet.results[0].row.pl_gates);
+    EXPECT_EQ(fleet.total_ee_gates, fleet.results[0].row.ee_gates);
+
+    const std::string dump = to_json(fleet).dump();
+    EXPECT_NE(dump.find("\"jobs_failed\": 1"), std::string::npos);
+    EXPECT_NE(dump.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(dump.find("\"error\""), std::string::npos);
+}
+
+TEST(FleetRunner, FailFastRestoresThrowingContract) {
+    fleet_job good;
+    good.id = "ok";
+    good.description = "ok";
+    good.netlist = wl::generate(wl::scenario_params(wl::scenario::random_dag, 20, 1));
+    fleet_options opts;
+    opts.fail_fast = true;
+    EXPECT_THROW(run_fleet({good, malformed_job("bad")}, opts), std::exception);
+}
+
+TEST(FleetRunner, FailingJobsDoNotPerturbSurvivorRows) {
+    // The fleet-integrity matrix: two healthy benchmark jobs ride alongside a
+    // job that exhausts its (per-job) simulator event budget mid-measurement
+    // and a job that fails validation outright.  At every thread count, with
+    // and without the shared trigger cache, the fleet must return all four
+    // results, classify exactly the two bad jobs as non-ok, and leave the
+    // survivors' rows bit-identical to the serial single-circuit pipeline.
+    const std::vector<std::string> ids = {"b05", "b07"};
+    std::vector<fleet_job> jobs;
+    std::vector<report::experiment_row> serial;
+    for (const std::string& id : ids) {
+        fleet_job job;
+        job.id = id;
+        job.description = id;
+        job.netlist = bench::build_benchmark(id);
+        serial.push_back(
+            report::run_ee_experiment(id, job.netlist, fast_options()));
+        jobs.push_back(std::move(job));
+    }
+    fleet_job starved;  // trips sim::budget_exhausted in the baseline measure
+    starved.id = "starved";
+    starved.description = "starved";
+    starved.netlist = bench::build_benchmark("b10");
+    starved.max_events = 50;
+    jobs.push_back(std::move(starved));
+    jobs.push_back(malformed_job("bad"));
+
+    // Reference entry count for a shared cache fed only by the survivors:
+    // both bad jobs die before their EE search runs, so they must not add a
+    // single (bogus or otherwise) entry to the shared memo.
+    fleet_options clean_opts;
+    clean_opts.num_threads = 1;
+    clean_opts.experiment = fast_options();
+    const fleet_result clean =
+        run_fleet({jobs[0], jobs[1]}, clean_opts);
+    ASSERT_TRUE(clean.all_ok());
+
+    for (unsigned threads : {1u, 2u, 5u}) {
+        for (bool share : {true, false}) {
+            fleet_options opts;
+            opts.num_threads = threads;
+            opts.share_trigger_cache = share;
+            opts.experiment = fast_options();
+            const fleet_result fleet = run_fleet(jobs, opts);
+            const std::string label = "threads=" + std::to_string(threads) +
+                                      " share=" + std::to_string(share);
+
+            ASSERT_EQ(fleet.results.size(), jobs.size()) << label;
+            EXPECT_EQ(fleet.jobs_ok, 2u) << label;
+            EXPECT_EQ(fleet.jobs_budget_exhausted, 1u) << label;
+            EXPECT_EQ(fleet.jobs_failed, 1u) << label;
+            EXPECT_EQ(fleet.results[2].status, job_status::budget_exhausted)
+                << label;
+            // Typed context: circuit id, event count and queue kind in what().
+            EXPECT_NE(fleet.results[2].error.find("starved"), std::string::npos)
+                << fleet.results[2].error;
+            EXPECT_NE(fleet.results[2].error.find("event budget exhausted"),
+                      std::string::npos)
+                << fleet.results[2].error;
+            EXPECT_EQ(fleet.results[3].status, job_status::failed) << label;
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                EXPECT_EQ(fleet.results[i].status, job_status::ok) << label;
+                expect_rows_identical(fleet.results[i].row, serial[i],
+                                      ids[i] + " " + label);
+            }
+            if (share) {
+                EXPECT_EQ(fleet.cache_entries, clean.cache_entries) << label;
+            }
+        }
+    }
 }
 
 TEST(FleetRunner, EmptyFleetIsANoop) {

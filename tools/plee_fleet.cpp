@@ -20,8 +20,17 @@
 //                  fleet-shared concurrent cache
 //   --json PATH    write the fleet result (summary + rows) as JSON
 //
+// Fault tolerance (see src/runner/README.md for the full semantics):
+//   --job-deadline-ms MS   per-job wall-clock deadline (0 = none)
+//   --max-retries N        retries for transient-classified failures
+//   --fail-fast            abort the fleet on the first job failure
+//   --inject SPEC          arm the deterministic fault injector, e.g.
+//                          'seed=42;ee.search=0.5;sim.fire=1:delay=5'
+//
 // Every circuit runs the full synth -> PL-map -> EE -> simulate pipeline
-// with golden-model verification; exit status is non-zero on any failure.
+// with golden-model verification.  Exit status: 0 = every job ok,
+// 2 = fleet completed but some jobs failed/timed out (partial results),
+// 1 = fatal (bad arguments, fail-fast abort, internal error).
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "bench_circuits/itc99.hpp"
+#include "fault/injector.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "runner/runner.hpp"
@@ -44,7 +54,8 @@ void usage(const char* argv0) {
                  "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
                  "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
                  "       [--queue calendar|heap] [--no-check] [--no-share]\n"
-                 "       [--json PATH]\n",
+                 "       [--job-deadline-ms MS] [--max-retries N] [--fail-fast]\n"
+                 "       [--inject SPEC] [--json PATH]\n",
                  argv0);
 }
 
@@ -75,46 +86,63 @@ int main(int argc, char** argv) {
     sim::queue_kind queue = sim::sim_options{}.queue;
     bool check_early_value = true;
     std::string json_path;
+    double job_deadline_ms = 0.0;
+    unsigned max_retries = 0;
+    bool fail_fast = false;
+    std::string inject_spec;
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
         if (std::strcmp(argv[i], "--circuits") == 0) {
-            if (const char* v = next()) circuits = v; else { usage(argv[0]); return 2; }
+            if (const char* v = next()) circuits = v; else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--scenario") == 0) {
-            if (const char* v = next()) scenario_name = v; else { usage(argv[0]); return 2; }
+            if (const char* v = next()) scenario_name = v; else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--gates") == 0) {
             if (const char* v = next()) gates = std::strtoull(v, nullptr, 10);
-            else { usage(argv[0]); return 2; }
+            else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--seed") == 0) {
             if (const char* v = next()) { seed = std::strtoull(v, nullptr, 10); seed_given = true; }
-            else { usage(argv[0]); return 2; }
+            else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--threads") == 0) {
             if (const char* v = next()) threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-            else { usage(argv[0]); return 2; }
+            else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--vectors") == 0) {
             if (const char* v = next()) vectors = std::strtoull(v, nullptr, 10);
-            else { usage(argv[0]); return 2; }
+            else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--queue") == 0) {
             const char* v = next();
-            if (v == nullptr) { usage(argv[0]); return 2; }
+            if (v == nullptr) { usage(argv[0]); return 1; }
             try {
                 queue = sim::queue_kind_from_string(v);
             } catch (const std::invalid_argument&) {
                 usage(argv[0]);
-                return 2;
+                return 1;
             }
         } else if (std::strcmp(argv[i], "--no-check") == 0) {
             check_early_value = false;
         } else if (std::strcmp(argv[i], "--no-share") == 0) {
             share = false;
+        } else if (std::strcmp(argv[i], "--job-deadline-ms") == 0) {
+            if (const char* v = next()) job_deadline_ms = std::strtod(v, nullptr);
+            else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--max-retries") == 0) {
+            if (const char* v = next()) max_retries = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+            fail_fast = true;
+        } else if (std::strcmp(argv[i], "--inject") == 0) {
+            if (const char* v = next()) inject_spec = v; else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--json") == 0) {
-            if (const char* v = next()) json_path = v; else { usage(argv[0]); return 2; }
+            if (const char* v = next()) json_path = v; else { usage(argv[0]); return 1; }
         } else {
             usage(argv[0]);
-            return 2;
+            return 1;
         }
     }
 
     try {
+        if (!inject_spec.empty()) {
+            fault::injector::instance().configure(inject_spec);
+        }
         std::vector<runner::fleet_job> jobs;
         const bool synthetic =
             !circuits.empty() &&
@@ -123,7 +151,7 @@ int main(int argc, char** argv) {
             const std::size_t count = std::strtoull(circuits.c_str(), nullptr, 10);
             if (count == 0) {
                 std::fprintf(stderr, "plee_fleet: --circuits must be > 0\n");
-                return 2;
+                return 1;
             }
             // The generator seed defaults to a small fixed value; the large
             // fixed stimulus seed stays on the measurement side.
@@ -161,27 +189,40 @@ int main(int argc, char** argv) {
         runner::fleet_options opts;
         opts.num_threads = threads;
         opts.share_trigger_cache = share;
+        opts.job_deadline_ms = job_deadline_ms;
+        opts.max_retries = max_retries;
+        opts.fail_fast = fail_fast;
         opts.experiment.measure.num_vectors = vectors;
         opts.experiment.measure.sim.queue = queue;
         opts.experiment.measure.sim.check_early_value = check_early_value;
         if (seed_given) opts.experiment.measure.seed = seed;
         const runner::fleet_result fleet = runner::run_fleet(jobs, opts);
 
-        report::text_table t({"Circuit", "PL Gates", "EE Gates", "Delay (ns)",
-                              "Delay EE (ns)", "% Delay Decr.", "Wall (ms)"});
+        report::text_table t({"Circuit", "Status", "PL Gates", "EE Gates",
+                              "Delay (ns)", "Delay EE (ns)", "% Delay Decr.",
+                              "Wall (ms)"});
         for (const runner::job_result& r : fleet.results) {
-            t.add_row({r.id, std::to_string(r.row.pl_gates),
+            t.add_row({r.id, runner::to_string(r.status),
+                       std::to_string(r.row.pl_gates),
                        std::to_string(r.row.ee_gates),
                        report::fmt(r.row.delay_no_ee, 1),
                        report::fmt(r.row.delay_ee, 1),
                        report::fmt(r.row.delay_decrease_pct, 0) + "%",
                        report::fmt(r.wall_ms, 1)});
+            if (!r.error.empty()) {
+                std::fprintf(stderr, "plee_fleet: %s (attempt %u): %s\n",
+                             r.id.c_str(), r.attempts, r.error.c_str());
+            }
         }
         std::printf("%s\n", t.to_string().c_str());
         std::printf("fleet: %zu netlists, %u threads, %.0f ms wall, %.2f "
                     "netlists/s, %.0f sweeps/s\n",
                     fleet.results.size(), fleet.threads, fleet.wall_ms,
                     fleet.netlists_per_s(), fleet.sweeps_per_s());
+        std::printf("status: %zu ok, %zu failed, %zu timed out, %zu budget "
+                    "exhausted, %zu retried\n",
+                    fleet.jobs_ok, fleet.jobs_failed, fleet.jobs_timed_out,
+                    fleet.jobs_budget_exhausted, fleet.jobs_retried);
         std::printf("simulator (%s queue): %llu events in %.0f ms of summed "
                     "shard time = %.0f events/s per core\n",
                     sim::to_string(queue),
@@ -201,7 +242,7 @@ int main(int argc, char** argv) {
             root.write_file(json_path);
             std::printf("wrote %s\n", json_path.c_str());
         }
-        return 0;
+        return fleet.all_ok() ? 0 : 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "plee_fleet: %s\n", e.what());
         return 1;
