@@ -13,13 +13,23 @@
 // calendar engines and the speedup.  The mix row can fan circuits across
 // worker threads (--threads) to mirror how the fleet runner drives shards.
 //
-//   --circuits N   netlists in the mix                       (default 12)
-//   --gates G      LUTs per netlist                          (default 150)
-//   --vectors V    random vectors per run                    (default 60)
-//   --seed S       generator + stimulus seed                 (default 1)
-//   --repeat R     timed repetitions per engine              (default 3)
-//   --threads T    worker threads for the fleet-mix row      (default 1)
-//   --json PATH    write BENCH_sim.json for cross-PR perf tracking
+// The `lanes` row measures the lane-parallel mode on the same mix.  Before
+// timing, run_lanes is cross-checked against 64 serial per-vector runs on
+// every circuit (bit-identical outputs, times and EE counters, non-zero
+// exit on mismatch).  Then an interleaved A/B times the synchronous measure
+// path — the lanes=1 golden loop (set/eval/read/latch per vector) against
+// the 64-lane word-parallel loop — plus the PL event engine serial vs
+// run_lanes, reporting vectors/s both ways and the achieved lockstep
+// fraction.
+//
+//   --circuits N       netlists in the mix                   (default 12)
+//   --gates G          LUTs per netlist                      (default 150)
+//   --vectors V        random vectors per run                (default 60)
+//   --lane-vectors LV  vectors for the sync lanes A/B        (default 8192)
+//   --seed S           generator + stimulus seed             (default 1)
+//   --repeat R         timed repetitions per engine          (default 3)
+//   --threads T        worker threads for the fleet-mix row  (default 1)
+//   --json PATH        write BENCH_sim.json for cross-PR perf tracking
 
 #include <algorithm>
 #include <atomic>
@@ -33,11 +43,13 @@
 #include <vector>
 
 #include "ee/ee_transform.hpp"
+#include "netlist/sync_sim.hpp"
 #include "plogic/pl_mapper.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "sim/measure.hpp"
 #include "sim/pl_sim.hpp"
+#include "sim/stimulus.hpp"
 #include "workload/workload.hpp"
 
 using namespace plee;
@@ -46,8 +58,10 @@ namespace {
 
 struct circuit {
     std::string scenario;
+    nl::netlist sync;  ///< the synchronous source, for the golden-path A/B
     pl::pl_netlist pl;
     std::vector<std::vector<bool>> vectors;
+    std::vector<sim::stimulus_block> blocks;  ///< same stimulus, lane-packed
 };
 
 struct engine_output {
@@ -153,12 +167,138 @@ double best_events_per_s(const std::vector<const circuit*>& group,
     return best;
 }
 
+// --- Lane-parallel section ----------------------------------------------
+
+struct lane_check {
+    bool ok = true;
+    std::uint64_t lane_vectors = 0;
+    std::uint64_t lane_blocks = 0;
+    std::uint64_t lane_runs = 0;
+    std::uint64_t lane_splits = 0;
+
+    double lockstep_fraction() const {
+        return lane_vectors > lane_blocks
+                   ? static_cast<double>(lane_vectors - lane_runs) /
+                         static_cast<double>(lane_vectors - lane_blocks)
+                   : 1.0;
+    }
+};
+
+/// Lane engine golden gate: run_lanes over every block of `c` must match 64
+/// serial single-vector runs bit for bit — sink values, per-vector stable
+/// times — and the summed EE counters must be equal.
+lane_check check_lanes_vs_serial(const circuit& c) {
+    lane_check out;
+    sim::pl_simulator lane_sim(c.pl, sim::sim_options{});
+    sim::pl_simulator ref(c.pl, sim::sim_options{});
+    sim::sim_run_stats lane_total{};
+    sim::sim_run_stats ref_total{};
+    std::vector<std::vector<bool>> one(1);
+    for (const sim::stimulus_block& block : c.blocks) {
+        const sim::lane_block_result lr = lane_sim.run_lanes(block);
+        const sim::sim_run_stats& ls = lane_sim.stats();
+        lane_total.ee_hits += ls.ee_hits;
+        lane_total.ee_misses += ls.ee_misses;
+        lane_total.ee_wins += ls.ee_wins;
+        out.lane_vectors += ls.lane_vectors;
+        out.lane_blocks += ls.lane_blocks;
+        out.lane_runs += ls.lane_runs;
+        out.lane_splits += ls.lane_splits;
+        for (std::size_t lane = 0; lane < block.num_vectors; ++lane) {
+            block.extract(lane, one[0]);
+            const std::vector<sim::wave_record> waves = ref.run(one);
+            const sim::sim_run_stats& rs = ref.stats();
+            ref_total.ee_hits += rs.ee_hits;
+            ref_total.ee_misses += rs.ee_misses;
+            ref_total.ee_wins += rs.ee_wins;
+            const sim::wave_record& w = waves.front();
+            if (w.input_stable != lr.input_stable[lane] ||
+                w.output_stable != lr.output_stable[lane]) {
+                out.ok = false;
+                return out;
+            }
+            for (std::size_t j = 0; j < w.outputs.size(); ++j) {
+                if (w.outputs[j] != (((lr.outputs[j] >> lane) & 1u) != 0)) {
+                    out.ok = false;
+                    return out;
+                }
+            }
+        }
+    }
+    out.ok = lane_total.ee_hits == ref_total.ee_hits &&
+             lane_total.ee_misses == ref_total.ee_misses &&
+             lane_total.ee_wins == ref_total.ee_wins;
+    return out;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// One timed pass of the lanes=1 golden loop (set/eval/read/latch per
+/// vector, the measure_serial hot loop) over a circuit's stimulus.
+double sync_scalar_pass(const circuit& c,
+                        const std::vector<std::vector<bool>>& vecs,
+                        std::size_t* sink) {
+    nl::sync_simulator gold(c.sync);
+    const std::vector<bool> expected(c.sync.outputs().size(), false);
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::vector<bool>& v : vecs) {
+        gold.set_inputs(v);
+        gold.eval();
+        *sink += gold.outputs_equal(expected) ? 1u : 0u;
+        gold.latch();
+    }
+    return ms_between(start, std::chrono::steady_clock::now());
+}
+
+/// One timed pass of the lanes=64 golden loop (reset/set/eval/read per
+/// block, the measure_lanes hot loop) over the same stimulus, packed.
+double sync_lane_pass(const circuit& c,
+                      const std::vector<sim::stimulus_block>& blocks,
+                      std::uint64_t* sink) {
+    nl::sync_lane_simulator gold(c.sync);
+    std::vector<std::uint64_t> out(c.sync.outputs().size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const sim::stimulus_block& b : blocks) {
+        gold.reset();
+        gold.set_inputs(b.words.data(), b.width);
+        gold.eval();
+        gold.output_values(out.data());
+        for (const std::uint64_t w : out) *sink ^= w;
+    }
+    return ms_between(start, std::chrono::steady_clock::now());
+}
+
+/// One timed pass of the PL event engine, one single-vector run per vector
+/// (the serial reference the lane engine is checked against).
+double pl_serial_pass(const circuit& c) {
+    sim::pl_simulator simulator(c.pl, sim::sim_options{});
+    std::vector<std::vector<bool>> one(1);
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::vector<bool>& v : c.vectors) {
+        one[0] = v;
+        simulator.run(one);
+    }
+    return ms_between(start, std::chrono::steady_clock::now());
+}
+
+/// One timed pass of the PL lane engine, run_lanes per block.
+double pl_lane_pass(const circuit& c) {
+    sim::pl_simulator simulator(c.pl, sim::sim_options{});
+    const auto start = std::chrono::steady_clock::now();
+    for (const sim::stimulus_block& b : c.blocks) simulator.run_lanes(b);
+    return ms_between(start, std::chrono::steady_clock::now());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::size_t circuits = 12;
     std::size_t gates = 150;
     std::size_t vectors = 60;
+    std::size_t lane_vectors = 8192;
     std::uint64_t seed = 1;
     int repeat = 3;
     unsigned threads = 1;
@@ -171,6 +311,8 @@ int main(int argc, char** argv) {
             if (const char* v = next()) gates = std::strtoull(v, nullptr, 10);
         } else if (std::strcmp(argv[i], "--vectors") == 0) {
             if (const char* v = next()) vectors = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--lane-vectors") == 0) {
+            if (const char* v = next()) lane_vectors = std::strtoull(v, nullptr, 10);
         } else if (std::strcmp(argv[i], "--seed") == 0) {
             if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
         } else if (std::strcmp(argv[i], "--repeat") == 0) {
@@ -183,7 +325,8 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr,
                          "usage: %s [--circuits N] [--gates G] [--vectors V] "
-                         "[--seed S] [--repeat R] [--threads T] [--json PATH]\n",
+                         "[--lane-vectors LV] [--seed S] [--repeat R] "
+                         "[--threads T] [--json PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -199,10 +342,12 @@ int main(int argc, char** argv) {
                 wl::all_scenarios()[i % wl::all_scenarios().size()];
             circuit c;
             c.scenario = wl::to_string(kind);
-            pl::map_result mapped = pl::map_to_phased_logic(
-                wl::generate(wl::scenario_params(kind, gates, seed + i)));
+            c.sync = wl::generate(wl::scenario_params(kind, gates, seed + i));
+            pl::map_result mapped = pl::map_to_phased_logic(c.sync);
             ee::apply_early_evaluation(mapped.pl);
             c.pl = std::move(mapped.pl);
+            c.blocks = sim::make_stimulus(vectors, c.pl.sources().size(),
+                                          seed ^ (i * 0x9e3779b97f4a7c15ull));
             c.vectors = sim::random_vectors(vectors, c.pl.sources().size(),
                                             seed ^ (i * 0x9e3779b97f4a7c15ull));
             mix.push_back(std::move(c));
@@ -269,6 +414,116 @@ int main(int argc, char** argv) {
                     circuits, gates, vectors, repeat, threads,
                     t.to_string().c_str());
 
+        // --- Lanes row: 64-vector word-parallel mode on the same mix -----
+
+        // Golden gate: run_lanes vs 64 serial per-vector runs, bit for bit.
+        lane_check lanes{};
+        for (const circuit& c : mix) {
+            const lane_check lc = check_lanes_vs_serial(c);
+            if (!lc.ok) {
+                std::fprintf(stderr,
+                             "FAIL: lane engine diverges from serial runs on "
+                             "%s (gates=%zu seed=%llu)\n",
+                             c.scenario.c_str(), gates,
+                             static_cast<unsigned long long>(seed));
+                return 1;
+            }
+            lanes.lane_vectors += lc.lane_vectors;
+            lanes.lane_blocks += lc.lane_blocks;
+            lanes.lane_runs += lc.lane_runs;
+            lanes.lane_splits += lc.lane_splits;
+        }
+        std::printf("cross-check: lane engine bit-identical to serial runs "
+                    "on %zu circuits (%llu splits, lockstep %.3f)\n",
+                    mix.size(),
+                    static_cast<unsigned long long>(lanes.lane_splits),
+                    lanes.lockstep_fraction());
+
+        // Interleaved A/B: within every repetition each circuit runs the
+        // scalar pass immediately followed by the lane pass, so frequency
+        // drift hits both sides alike; best-of-R on the summed ms.
+        double sync_scalar_ms = 1e300;
+        double sync_lane_ms = 1e300;
+        double pl_serial_ms = 1e300;
+        double pl_lane_ms = 1e300;
+        std::size_t scalar_sink = 0;
+        std::uint64_t lane_sink = 0;
+        std::vector<std::vector<std::vector<bool>>> sync_vecs;
+        std::vector<std::vector<sim::stimulus_block>> sync_blocks;
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            const std::uint64_t s = seed ^ ((i + circuits) * 0x9e3779b97f4a7c15ull);
+            sync_vecs.push_back(sim::random_vectors(
+                lane_vectors, mix[i].pl.sources().size(), s));
+            sync_blocks.push_back(sim::make_stimulus(
+                lane_vectors, mix[i].pl.sources().size(), s));
+        }
+        for (int r = 0; r < repeat; ++r) {
+            double sc = 0.0, sl = 0.0, es = 0.0, el = 0.0;
+            for (std::size_t i = 0; i < mix.size(); ++i) {
+                sc += sync_scalar_pass(mix[i], sync_vecs[i], &scalar_sink);
+                sl += sync_lane_pass(mix[i], sync_blocks[i], &lane_sink);
+                es += pl_serial_pass(mix[i]);
+                el += pl_lane_pass(mix[i]);
+            }
+            sync_scalar_ms = std::min(sync_scalar_ms, sc);
+            sync_lane_ms = std::min(sync_lane_ms, sl);
+            pl_serial_ms = std::min(pl_serial_ms, es);
+            pl_lane_ms = std::min(pl_lane_ms, el);
+        }
+        // Keep the per-vector output reads observable so the timed passes
+        // cannot be optimized away.
+        if (scalar_sink == static_cast<std::size_t>(-1) && lane_sink == 1) {
+            std::printf("\n");
+        }
+        const double total_sync_vectors =
+            static_cast<double>(lane_vectors * mix.size());
+        const double total_pl_vectors =
+            static_cast<double>(vectors * mix.size());
+        const auto vps = [](double count, double ms) {
+            return ms > 0.0 ? 1000.0 * count / ms : 0.0;
+        };
+        const double sync_scalar_vps = vps(total_sync_vectors, sync_scalar_ms);
+        const double sync_lane_vps = vps(total_sync_vectors, sync_lane_ms);
+        const double pl_serial_vps = vps(total_pl_vectors, pl_serial_ms);
+        const double pl_lane_vps = vps(total_pl_vectors, pl_lane_ms);
+        const double sync_speedup =
+            sync_scalar_vps > 0.0 ? sync_lane_vps / sync_scalar_vps : 0.0;
+        const double pl_speedup =
+            pl_serial_vps > 0.0 ? pl_lane_vps / pl_serial_vps : 0.0;
+        std::printf("\nlanes row (%zu lanes, %zu vectors/circuit on the sync "
+                    "path, best of %d):\n",
+                    sim::k_lanes, lane_vectors, repeat);
+        std::printf("  sync golden path: scalar %.0f vec/s, lane %.0f vec/s "
+                    "= %.1fx\n",
+                    sync_scalar_vps, sync_lane_vps, sync_speedup);
+        std::printf("  pl event engine : serial %.0f vec/s, lane %.0f vec/s "
+                    "= %.1fx, lockstep %.3f\n\n",
+                    pl_serial_vps, pl_lane_vps, pl_speedup,
+                    lanes.lockstep_fraction());
+        {
+            report::json j = report::json::object();
+            j.set("workload", report::json::str("lanes"));
+            j.set("lanes", report::json::number(
+                               static_cast<std::int64_t>(sim::k_lanes)));
+            j.set("lane_vectors", report::json::number(
+                                      static_cast<std::int64_t>(lane_vectors)));
+            j.set("sync_scalar_vectors_per_s",
+                  report::json::number(sync_scalar_vps));
+            j.set("sync_lane_vectors_per_s",
+                  report::json::number(sync_lane_vps));
+            j.set("sync_speedup", report::json::number(sync_speedup));
+            j.set("pl_serial_vectors_per_s",
+                  report::json::number(pl_serial_vps));
+            j.set("pl_lane_vectors_per_s", report::json::number(pl_lane_vps));
+            j.set("pl_speedup", report::json::number(pl_speedup));
+            j.set("lane_splits",
+                  report::json::number(
+                      static_cast<std::int64_t>(lanes.lane_splits)));
+            j.set("lockstep_fraction",
+                  report::json::number(lanes.lockstep_fraction()));
+            rows.push(std::move(j));
+        }
+
         if (!json_path.empty()) {
             report::json doc = report::json::object();
             doc.set("benchmark", report::json::str("bench_sim_queue"));
@@ -279,6 +534,11 @@ int main(int argc, char** argv) {
                     report::json::number(static_cast<std::int64_t>(seed)));
             doc.set("rows", std::move(rows));
             doc.set("fleet_mix_speedup", report::json::number(mix_speedup));
+            doc.set("lanes", report::json::number(
+                                 static_cast<std::int64_t>(sim::k_lanes)));
+            doc.set("sync_lane_speedup", report::json::number(sync_speedup));
+            doc.set("lockstep_fraction",
+                    report::json::number(lanes.lockstep_fraction()));
             doc.write_file(json_path);
             std::printf("wrote %s\n", json_path.c_str());
         }

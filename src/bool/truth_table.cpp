@@ -142,6 +142,34 @@ bool truth_table::eval(std::uint32_t minterm) const {
     return (words_[minterm >> k_word_vars] >> (minterm & 63)) & 1u;
 }
 
+std::uint64_t truth_table::eval_word_lanes(const std::uint64_t* fn_words,
+                                           int num_vars,
+                                           const std::uint64_t* inputs) {
+    if (num_vars == 0) return std::uint64_t{0} - (fn_words[0] & 1u);
+    // Bottom-up mux-tree (Shannon) reduction.  Level 1 folds variable 0
+    // straight out of the truth-table bits — each adjacent minterm pair
+    // (2j, 2j+1) becomes one lane word — and every further level muxes
+    // neighbours on the next variable's lane word.  Total work is ~2^n word
+    // operations for all 64 lanes, branch-free.
+    std::uint64_t vals[std::size_t{1} << (k_max_vars - 1)];
+    const std::uint64_t x0 = inputs[0];
+    std::uint32_t n = 1u << (num_vars - 1);
+    for (std::uint32_t j = 0; j < n; ++j) {
+        const std::uint64_t pair = fn_words[j >> 5] >> ((2 * j) & 63);
+        const std::uint64_t m0 = std::uint64_t{0} - (pair & 1u);
+        const std::uint64_t m1 = std::uint64_t{0} - ((pair >> 1) & 1u);
+        vals[j] = (m0 & ~x0) | (m1 & x0);
+    }
+    for (int v = 1; v < num_vars; ++v) {
+        const std::uint64_t xv = inputs[v];
+        n >>= 1;
+        for (std::uint32_t j = 0; j < n; ++j) {
+            vals[j] = (vals[2 * j] & ~xv) | (vals[2 * j + 1] & xv);
+        }
+    }
+    return vals[0];
+}
+
 void truth_table::set(std::uint32_t minterm, bool value) {
     if (minterm >= num_minterms()) {
         throw std::out_of_range("truth_table::set: minterm out of range");

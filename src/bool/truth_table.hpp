@@ -125,6 +125,23 @@ public:
     bool eval(std::uint32_t minterm) const;
     void set(std::uint32_t minterm, bool value);
 
+    /// Evaluates all 64 lanes of a bit-parallel assignment at once:
+    /// `inputs[v]` carries variable v's value for 64 independent lanes (one
+    /// bit per lane), and bit L of the result is f applied to lane L.  This
+    /// is the batched entry point behind the lane-parallel simulators — one
+    /// mux-tree reduction (~2^n word ops) replaces 64 scalar eval calls.
+    std::uint64_t eval_lanes(const std::uint64_t* inputs) const {
+        return eval_word_lanes(words_.data(), num_vars_, inputs);
+    }
+
+    /// The same kernel over raw storage, for callers that keep truth-table
+    /// words outside a truth_table (the simulator's gate descriptors).
+    /// `fn_words` must hold words_for(num_vars) valid words in the standard
+    /// layout (minterm m = bit (m & 63) of word (m >> 6)).
+    static std::uint64_t eval_word_lanes(const std::uint64_t* fn_words,
+                                         int num_vars,
+                                         const std::uint64_t* inputs);
+
     /// Number of ON-set minterms.
     int count_ones() const;
     /// Number of OFF-set minterms.

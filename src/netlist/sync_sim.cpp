@@ -76,15 +76,104 @@ std::vector<bool> sync_simulator::output_values() const {
     return out;
 }
 
+void sync_simulator::latch() {
+    for (cell_id id : nl_.dffs()) state_[id] = values_[nl_.at(id).fanins.front()];
+}
+
 void sync_simulator::step() {
     eval();
-    for (cell_id id : nl_.dffs()) state_[id] = values_[nl_.at(id).fanins.front()];
+    latch();
 }
 
 std::vector<bool> sync_simulator::cycle(const std::vector<bool>& inputs) {
     set_inputs(inputs);
     step();
     return output_values();
+}
+
+bool sync_simulator::outputs_equal(const std::vector<bool>& expected) const {
+    const std::vector<cell_id>& outs = nl_.outputs();
+    if (expected.size() != outs.size()) return false;
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        if ((values_[outs[i]] != 0) != expected[i]) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// 64-lane bit-parallel golden model.
+// ---------------------------------------------------------------------------
+
+sync_lane_simulator::sync_lane_simulator(const netlist& nl)
+    : nl_(nl), order_(nl.topo_order()), values_(nl.num_cells(), 0),
+      state_(nl.num_cells(), 0) {
+    reset();
+}
+
+void sync_lane_simulator::reset() {
+    std::fill(values_.begin(), values_.end(), 0);
+    std::fill(state_.begin(), state_.end(), 0);
+    for (cell_id id : nl_.dffs()) {
+        state_[id] = nl_.at(id).init_value ? ~std::uint64_t{0} : 0;
+    }
+}
+
+void sync_lane_simulator::set_input(cell_id input, std::uint64_t lanes) {
+    if (nl_.at(input).kind != cell_kind::input) {
+        throw std::invalid_argument("set_input: cell is not a primary input");
+    }
+    values_[input] = lanes;
+}
+
+void sync_lane_simulator::set_inputs(const std::uint64_t* lane_words,
+                                     std::size_t count) {
+    if (count != nl_.inputs().size()) {
+        throw std::invalid_argument("set_inputs: word count != input count");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        values_[nl_.inputs()[i]] = lane_words[i];
+    }
+}
+
+void sync_lane_simulator::eval() {
+    std::uint64_t fanin_lanes[bf::k_max_vars];
+    for (cell_id id : order_) {
+        const cell& c = nl_.at(id);
+        switch (c.kind) {
+            case cell_kind::input:
+                break;  // externally driven
+            case cell_kind::constant:
+                values_[id] = c.const_value ? ~std::uint64_t{0} : 0;
+                break;
+            case cell_kind::dff:
+                values_[id] = state_[id];
+                break;
+            case cell_kind::lut: {
+                for (std::size_t i = 0; i < c.fanins.size(); ++i) {
+                    fanin_lanes[i] = values_[c.fanins[i]];
+                }
+                values_[id] = c.function.eval_lanes(fanin_lanes);
+                break;
+            }
+            case cell_kind::output:
+                values_[id] = values_[c.fanins.front()];
+                break;
+        }
+    }
+}
+
+void sync_lane_simulator::latch() {
+    for (cell_id id : nl_.dffs()) state_[id] = values_[nl_.at(id).fanins.front()];
+}
+
+void sync_lane_simulator::step() {
+    eval();
+    latch();
+}
+
+void sync_lane_simulator::output_values(std::uint64_t* out) const {
+    const std::vector<cell_id>& outs = nl_.outputs();
+    for (std::size_t i = 0; i < outs.size(); ++i) out[i] = values_[outs[i]];
 }
 
 }  // namespace plee::nl

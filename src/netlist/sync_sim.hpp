@@ -38,6 +38,10 @@ public:
     /// Primary output values, in netlist output order, after the last eval().
     std::vector<bool> output_values() const;
 
+    /// The clock edge alone (DFF states <= D values); callers that already
+    /// ran eval() can latch without paying a second propagation pass.
+    void latch();
+
     /// eval() followed by a clock edge (DFF states <= D values).
     void step();
 
@@ -45,11 +49,58 @@ public:
     /// output values observed *before* the clock edge.
     std::vector<bool> cycle(const std::vector<bool>& inputs);
 
+    /// Allocation-free comparison of the post-eval() primary outputs against
+    /// `expected` (netlist output order) — the golden-check hot path.
+    bool outputs_equal(const std::vector<bool>& expected) const;
+
 private:
     const netlist& nl_;
     std::vector<cell_id> order_;
     std::vector<char> values_;  // char, not bool: avoids bitset proxy churn
     std::vector<char> state_;   // DFF state, indexed by cell id
+};
+
+/// 64-lane bit-parallel version of sync_simulator: every net carries one
+/// 64-bit word whose bit L is the net's value in lane L, and each lane is a
+/// fully independent simulation (its own inputs and its own DFF state
+/// trajectory).  One eval() pass evaluates all 64 lanes — LUTs collapse to
+/// the mux-tree word kernel bf::truth_table::eval_lanes — which is what
+/// makes the lane-parallel measure path ~an order of magnitude faster per
+/// vector than 64 scalar passes.  Lane L of any word is bit-identical to a
+/// scalar sync_simulator driven with lane L's inputs from the same reset
+/// state (locked down by tests/test_lane_sim.cpp).
+class sync_lane_simulator {
+public:
+    explicit sync_lane_simulator(const netlist& nl);
+
+    /// Resets every lane: DFFs to their initial values, inputs to 0.
+    void reset();
+
+    /// Assigns one input across all 64 lanes (bit L = lane L's value).
+    void set_input(cell_id input, std::uint64_t lanes);
+    /// Assigns all primary inputs in netlist input order, one word each.
+    void set_inputs(const std::uint64_t* lane_words, std::size_t count);
+
+    /// Propagates combinational logic for the current inputs and DFF states
+    /// in every lane at once.
+    void eval();
+    /// The clock edge alone (DFF states <= D values), all lanes.
+    void latch();
+    /// eval() followed by the clock edge.
+    void step();
+
+    /// Lane word on the net driven by `id` after the last eval().
+    std::uint64_t value_of(cell_id id) const { return values_[id]; }
+
+    /// Post-eval() primary output words, netlist output order, written into
+    /// `out` (must hold outputs().size() words).
+    void output_values(std::uint64_t* out) const;
+
+private:
+    const netlist& nl_;
+    std::vector<cell_id> order_;
+    std::vector<std::uint64_t> values_;  ///< per cell: one bit per lane
+    std::vector<std::uint64_t> state_;   ///< DFF state words, by cell id
 };
 
 }  // namespace plee::nl

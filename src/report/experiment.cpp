@@ -52,6 +52,20 @@ experiment_row run_ee_experiment(const std::string& description,
     row.stats_ee = with_ee.stats;
     row.sim_wall_ms += with_ee.sim_wall_ms;
 
+    row.lanes = measure.lanes;
+    row.vectors_measured = base.delays.size() + with_ee.delays.size();
+    if (measure.lanes > 1) {
+        // Weight each measurement's run-merging by its vector count.
+        const double total = static_cast<double>(row.vectors_measured);
+        row.lockstep_fraction =
+            total > 0.0
+                ? (base.lockstep_fraction * static_cast<double>(base.delays.size()) +
+                   with_ee.lockstep_fraction *
+                       static_cast<double>(with_ee.delays.size())) /
+                      total
+                : 1.0;
+    }
+
     row.delay_diff = row.delay_no_ee - row.delay_ee;
     row.area_increase_pct =
         row.pl_gates == 0 ? 0.0
@@ -77,6 +91,12 @@ json to_json(const experiment_row& row, bool include_cache_counters) {
     j.set("sim_events", json::number(static_cast<std::int64_t>(
                             row.stats_no_ee.events + row.stats_ee.events)));
     j.set("sim_wall_ms", json::number(row.sim_wall_ms));
+    j.set("lanes", json::number(row.lanes));
+    j.set("vectors_measured", json::number(row.vectors_measured));
+    j.set("vectors_per_s", json::number(row.vectors_per_s()));
+    if (row.lanes > 1) {
+        j.set("lockstep_fraction", json::number(row.lockstep_fraction));
+    }
     if (include_cache_counters) {
         j.set("trigger_cache_hits", json::number(static_cast<std::int64_t>(
                                         row.ee_detail.cache_hits)));

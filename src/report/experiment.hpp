@@ -49,6 +49,21 @@ struct experiment_row {
     /// Event-simulation wall time across both measurements (ms) — with the
     /// stats' event counts this tracks simulator events/s per circuit.
     double sim_wall_ms = 0.0;
+    /// Stimulus lanes per engine pass (measure_options::lanes: 1 or 64).
+    std::size_t lanes = 1;
+    /// Vectors measured across both runs — with sim_wall_ms this tracks
+    /// measurement vectors/s per circuit.
+    std::size_t vectors_measured = 0;
+    /// Lane mode: run-merging fraction across both measurements (see
+    /// measure_result::lockstep_fraction); 1.0 when lanes == 1.
+    double lockstep_fraction = 1.0;
+
+    /// Measurement throughput (0 when the run was too fast to time).
+    double vectors_per_s() const {
+        return sim_wall_ms > 0.0
+                   ? static_cast<double>(vectors_measured) * 1e3 / sim_wall_ms
+                   : 0.0;
+    }
 };
 
 /// Runs the full pipeline on one benchmark circuit.

@@ -49,6 +49,7 @@ void run_job(const fleet_job& job, const report::experiment_options& experiment,
         opts.cancel = &token;
         opts.fault_context = job.id + "#" + std::to_string(attempt);
         if (job.max_events != 0) opts.measure.sim.max_events = job.max_events;
+        if (job.lanes != 0) opts.measure.lanes = job.lanes;
         try {
             out.row =
                 report::run_ee_experiment(job.description, job.netlist, opts);
@@ -191,6 +192,7 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         fleet.total_sweeps += r.row.ee_detail.masters_considered;
         fleet.total_sim_events +=
             r.row.stats_no_ee.events + r.row.stats_ee.events;
+        fleet.total_vectors += r.row.vectors_measured;
         fleet.total_sim_wall_ms += r.row.sim_wall_ms;
         fleet.cache_hits += r.row.ee_detail.cache_hits;
         fleet.cache_misses += r.row.ee_detail.cache_misses;
@@ -199,6 +201,18 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         // double-counting sum (see fleet_result::cache_entries).
         fleet.cache_entries =
             std::max(fleet.cache_entries, r.row.ee_detail.cache_entries);
+    }
+    // Vector-weighted lockstep fraction over the lane-mode jobs.
+    double lane_vectors = 0.0;
+    double lockstep_weighted = 0.0;
+    for (const job_result& r : fleet.results) {
+        if (!job_succeeded(r.status) || r.row.lanes <= 1) continue;
+        const double v = static_cast<double>(r.row.vectors_measured);
+        lane_vectors += v;
+        lockstep_weighted += r.row.lockstep_fraction * v;
+    }
+    if (lane_vectors > 0.0) {
+        fleet.lockstep_fraction = lockstep_weighted / lane_vectors;
     }
     if (options.share_trigger_cache) {
         // Per-job counters read zero under a shared memo; the fleet totals
@@ -232,6 +246,9 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
                                   static_cast<std::int64_t>(fleet.total_sim_events)));
     j.set("total_sim_wall_ms", report::json::number(fleet.total_sim_wall_ms));
     j.set("sim_events_per_s", report::json::number(fleet.sim_events_per_s()));
+    j.set("total_vectors", report::json::number(fleet.total_vectors));
+    j.set("vectors_per_s", report::json::number(fleet.vectors_per_s()));
+    j.set("lockstep_fraction", report::json::number(fleet.lockstep_fraction));
     j.set("cache_hits", report::json::number(static_cast<std::int64_t>(fleet.cache_hits)));
     j.set("cache_misses",
           report::json::number(static_cast<std::int64_t>(fleet.cache_misses)));

@@ -47,6 +47,9 @@ struct fleet_job {
     /// experiment.measure.sim.max_events).  Lets one suspect job carry a
     /// tight budget without constraining the whole fleet.
     std::uint64_t max_events = 0;
+    /// Per-job override of the measurement lane count (0 = inherit
+    /// experiment.measure.lanes; otherwise 1 or 64).
+    std::size_t lanes = 0;
 };
 
 /// Terminal state of one job after all its attempts.
@@ -136,6 +139,11 @@ struct fleet_result {
     /// each) summed over the fleet — the engine-throughput unit.
     std::size_t total_sweeps = 0;
     std::uint64_t total_sim_events = 0;
+    /// Vectors measured across the succeeded jobs (both measurements each).
+    std::size_t total_vectors = 0;
+    /// Vector-weighted mean lockstep fraction over the succeeded lane-mode
+    /// jobs (1.0 when no job ran lanes, or every block stayed lockstep).
+    double lockstep_fraction = 1.0;
     /// Summed per-job event-simulation wall time (ms).  Unlike wall_ms this
     /// excludes synthesis/mapping/EE-search, so events/s measures the
     /// simulator engine itself.
@@ -172,6 +180,14 @@ struct fleet_result {
         return total_sim_wall_ms <= 0.0
                    ? 0.0
                    : 1000.0 * static_cast<double>(total_sim_events) /
+                         total_sim_wall_ms;
+    }
+    /// Measurement throughput: vectors measured per second of simulation
+    /// wall time, summed over every measurement in the fleet.
+    double vectors_per_s() const {
+        return total_sim_wall_ms <= 0.0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(total_vectors) /
                          total_sim_wall_ms;
     }
 };

@@ -1,8 +1,8 @@
 #include "sim/measure.hpp"
 
+#include <bit>
 #include <chrono>
 #include <cmath>
-#include <random>
 #include <stdexcept>
 
 #include "netlist/sync_sim.hpp"
@@ -10,13 +10,128 @@
 
 namespace plee::sim {
 
+namespace {
+
+[[noreturn]] void throw_mismatch(const measure_options& options,
+                                 std::size_t mismatched, std::size_t total) {
+    throw plee_error(
+        "measure_average_delay[" +
+            (options.sim.label.empty() ? "?" : options.sim.label) +
+            "]: PL outputs diverge from the synchronous golden model on " +
+            std::to_string(mismatched) + " of " + std::to_string(total) +
+            " waves",
+        failure_class::permanent);
+}
+
+/// Sequential-wave protocol: one run over all vectors, golden-checked
+/// against the scalar synchronous model wave by wave.
+void measure_serial(const pl::pl_netlist& pl, const nl::netlist* golden,
+                    const measure_options& options,
+                    const std::vector<stimulus_block>& blocks,
+                    measure_result& result) {
+    pl_simulator simulator(pl, options.sim);
+    const auto sim_start = std::chrono::steady_clock::now();
+    const std::vector<wave_record> waves = simulator.run_packed(blocks);
+    const auto sim_end = std::chrono::steady_clock::now();
+
+    result.stats = simulator.stats();
+    result.sim_wall_ms =
+        std::chrono::duration<double, std::milli>(sim_end - sim_start).count();
+
+    if (golden != nullptr) {
+        nl::sync_simulator gold(*golden);
+        std::vector<bool> inputs;
+        for (std::size_t w = 0; w < waves.size(); ++w) {
+            blocks[w / k_lanes].extract(w % k_lanes, inputs);
+            gold.set_inputs(inputs);
+            gold.eval();
+            if (!gold.outputs_equal(waves[w].outputs)) ++result.mismatched_waves;
+            gold.latch();
+        }
+        if (result.mismatched_waves > 0 && options.require_functional_match) {
+            throw_mismatch(options, result.mismatched_waves, waves.size());
+        }
+    }
+
+    result.delays.reserve(waves.size());
+    for (const wave_record& w : waves) result.delays.push_back(w.delay());
+}
+
+/// Lane-parallel protocol: 64 independent single-vector runs per block,
+/// golden-checked against the 64-lane synchronous model word-wide.
+void measure_lanes(const pl::pl_netlist& pl, const nl::netlist* golden,
+                   const measure_options& options,
+                   const std::vector<stimulus_block>& blocks,
+                   measure_result& result) {
+    pl_simulator simulator(pl, options.sim);
+    std::vector<lane_block_result> lane_results;
+    lane_results.reserve(blocks.size());
+    sim_run_stats total{};
+    const auto sim_start = std::chrono::steady_clock::now();
+    for (const stimulus_block& block : blocks) {
+        lane_results.push_back(simulator.run_lanes(block));
+        const sim_run_stats& s = simulator.stats();
+        total.events += s.events;
+        total.firings += s.firings;
+        total.ee_hits += s.ee_hits;
+        total.ee_misses += s.ee_misses;
+        total.ee_wins += s.ee_wins;
+        total.lane_blocks += s.lane_blocks;
+        total.lane_vectors += s.lane_vectors;
+        total.lane_runs += s.lane_runs;
+        total.lane_splits += s.lane_splits;
+    }
+    const auto sim_end = std::chrono::steady_clock::now();
+    result.stats = total;
+    result.sim_wall_ms =
+        std::chrono::duration<double, std::milli>(sim_end - sim_start).count();
+
+    if (golden != nullptr) {
+        nl::sync_lane_simulator gold(*golden);
+        std::vector<std::uint64_t> expected(golden->outputs().size());
+        std::size_t mismatched = 0;
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            gold.reset();
+            gold.set_inputs(blocks[b].words.data(), blocks[b].width);
+            gold.eval();
+            gold.output_values(expected.data());
+            std::uint64_t diff = 0;
+            const std::uint64_t mask = blocks[b].lane_mask();
+            for (std::size_t j = 0; j < expected.size(); ++j) {
+                diff |= (lane_results[b].outputs[j] ^ expected[j]) & mask;
+            }
+            mismatched += static_cast<std::size_t>(std::popcount(diff));
+        }
+        result.mismatched_waves = mismatched;
+        if (mismatched > 0 && options.require_functional_match) {
+            throw_mismatch(options, mismatched, options.num_vectors);
+        }
+    }
+
+    result.delays.reserve(options.num_vectors);
+    for (const lane_block_result& r : lane_results) {
+        for (std::size_t lane = 0; lane < r.num_vectors; ++lane) {
+            result.delays.push_back(r.delay(lane));
+        }
+    }
+    // Run-merging achieved vs possible: every block needs >= 1 pass, every
+    // vector can cost at most one.
+    const std::uint64_t v = total.lane_vectors;
+    const std::uint64_t b = total.lane_blocks;
+    result.lockstep_fraction =
+        v > b ? static_cast<double>(v - total.lane_runs) /
+                    static_cast<double>(v - b)
+              : 1.0;
+}
+
+}  // namespace
+
 std::vector<std::vector<bool>> random_vectors(std::size_t count, std::size_t width,
                                               std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::bernoulli_distribution bit(0.5);
-    std::vector<std::vector<bool>> vectors(count, std::vector<bool>(width, false));
-    for (auto& v : vectors) {
-        for (std::size_t i = 0; i < width; ++i) v[i] = bit(rng);
+    const std::vector<stimulus_block> blocks = make_stimulus(count, width, seed);
+    std::vector<std::vector<bool>> vectors(count);
+    for (std::size_t v = 0; v < count; ++v) {
+        blocks[v / k_lanes].extract(v % k_lanes, vectors[v]);
     }
     return vectors;
 }
@@ -24,54 +139,36 @@ std::vector<std::vector<bool>> random_vectors(std::size_t count, std::size_t wid
 measure_result measure_average_delay(const pl::pl_netlist& pl,
                                      const nl::netlist* golden,
                                      const measure_options& options) {
-    const auto vectors =
-        random_vectors(options.num_vectors, pl.sources().size(), options.seed);
-
-    pl_simulator simulator(pl, options.sim);
-    const auto sim_start = std::chrono::steady_clock::now();
-    const std::vector<wave_record> waves = simulator.run(vectors);
-    const auto sim_end = std::chrono::steady_clock::now();
+    if (options.lanes != 1 && options.lanes != k_lanes) {
+        throw std::invalid_argument(
+            "measure_average_delay: lanes must be 1 or 64");
+    }
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(options.num_vectors, pl.sources().size(), options.seed);
 
     measure_result result;
-    result.stats = simulator.stats();
-    result.sim_wall_ms =
-        std::chrono::duration<double, std::milli>(sim_end - sim_start).count();
-    result.delays.reserve(waves.size());
-
-    if (golden != nullptr) {
-        nl::sync_simulator gold(*golden);
-        for (std::size_t w = 0; w < waves.size(); ++w) {
-            const std::vector<bool> expected = gold.cycle(vectors[w]);
-            if (expected != waves[w].outputs) ++result.mismatched_waves;
-        }
-        if (result.mismatched_waves > 0 && options.require_functional_match) {
-            throw plee_error(
-                "measure_average_delay[" +
-                    (options.sim.label.empty() ? "?" : options.sim.label) +
-                    "]: PL outputs diverge from the synchronous golden model "
-                    "on " +
-                    std::to_string(result.mismatched_waves) + " of " +
-                    std::to_string(waves.size()) + " waves",
-                failure_class::permanent);
-        }
+    result.lanes = options.lanes;
+    if (options.lanes == 1) {
+        measure_serial(pl, golden, options, blocks, result);
+    } else {
+        measure_lanes(pl, golden, options, blocks, result);
     }
 
     double sum = 0.0;
     double sum_sq = 0.0;
-    result.min_delay = waves.empty() ? 0.0 : waves.front().delay();
+    result.min_delay = result.delays.empty() ? 0.0 : result.delays.front();
     result.max_delay = result.min_delay;
-    for (const wave_record& w : waves) {
-        const double d = w.delay();
-        result.delays.push_back(d);
+    for (const double d : result.delays) {
         sum += d;
         sum_sq += d * d;
         result.min_delay = std::min(result.min_delay, d);
         result.max_delay = std::max(result.max_delay, d);
     }
-    if (!waves.empty()) {
-        const double n = static_cast<double>(waves.size());
+    if (!result.delays.empty()) {
+        const double n = static_cast<double>(result.delays.size());
         result.avg_delay = sum / n;
-        const double variance = std::max(0.0, sum_sq / n - result.avg_delay * result.avg_delay);
+        const double variance =
+            std::max(0.0, sum_sq / n - result.avg_delay * result.avg_delay);
         result.stddev = std::sqrt(variance);
     }
     return result;

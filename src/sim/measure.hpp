@@ -6,10 +6,29 @@
 // stable input vector and a stable output word."
 //
 // measure_average_delay drives a PL netlist with random vectors through the
-// event simulator and aggregates the per-wave delays; when a golden
-// synchronous netlist is supplied, every wave's primary outputs are checked
-// against the synchronous simulation cycle-by-cycle, proving the PL mapping
-// (and any Early Evaluation circuitry) functionally transparent.
+// event simulator and aggregates the per-vector delays; when a golden
+// synchronous netlist is supplied, every vector's primary outputs are checked
+// against the synchronous simulation, proving the PL mapping (and any Early
+// Evaluation circuitry) functionally transparent.
+//
+// Two stimulus protocols, selected by measure_options::lanes:
+//
+//  * lanes == 1 (default) — the paper's sequential protocol: one simulator
+//    run over num_vectors waves, vector k+1 released when vector k's outputs
+//    are stable.  Delays include the self-timed hand-off between waves.
+//  * lanes == 64 — the throughput protocol: each vector is an independent
+//    single-vector simulation from reset, and 64 of them advance through one
+//    lane-parallel event stream (pl_simulator::run_lanes).  Per-vector
+//    results are bit-identical to running each vector alone; the golden
+//    check runs through the 64-lane synchronous model.  This is the path the
+//    BENCH_sim.json `lanes` row measures (~an order of magnitude more
+//    vectors/s on the sync golden model, and run-merging on the PL side
+//    whenever lanes stay in lockstep — see lockstep_fraction).
+//
+// The two protocols measure different quantities for sequential hand-off
+// reasons (wave k's delay starts at wave k-1's stabilization in the
+// sequential protocol, at t = 0 in the independent one), so `lanes` is an
+// explicit experiment parameter, not a transparent optimization toggle.
 
 #pragma once
 
@@ -19,12 +38,17 @@
 #include "netlist/netlist.hpp"
 #include "plogic/pl_netlist.hpp"
 #include "sim/pl_sim.hpp"
+#include "sim/stimulus.hpp"
 
 namespace plee::sim {
 
 struct measure_options {
     std::size_t num_vectors = 100;  ///< the paper's 100 random simulations
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    /// Stimulus lanes evaluated at once: 1 = the sequential-wave protocol,
+    /// k_lanes (64) = lane-parallel independent vectors.  Anything else
+    /// throws std::invalid_argument.
+    std::size_t lanes = 1;
     sim_options sim{};
     /// Throw std::logic_error if PL outputs diverge from the golden netlist.
     bool require_functional_match = true;
@@ -35,15 +59,31 @@ struct measure_result {
     double min_delay = 0.0;
     double max_delay = 0.0;
     double stddev = 0.0;
-    std::vector<double> delays;  ///< per wave
+    std::vector<double> delays;  ///< per vector
     sim_run_stats stats;
     std::size_t mismatched_waves = 0;
     /// Wall time of the event-simulation run itself (excludes the golden
-    /// comparison) — with stats.events this yields sim events/s.
+    /// comparison) — with stats.events this yields sim events/s, with
+    /// delays.size() vectors/s.
     double sim_wall_ms = 0.0;
+    /// The lane count the measurement actually used.
+    std::size_t lanes = 1;
+    /// Lane mode: (vectors - engine passes) / (vectors - blocks) — the
+    /// fraction of the possible run merging achieved.  1.0 = every block ran
+    /// fully lockstep (one pass per 64 vectors), 0.0 = every vector needed
+    /// its own pass.  1.0 when lanes == 1 vacuously.
+    double lockstep_fraction = 1.0;
+
+    /// Measurement throughput (0 when the run was too fast to time).
+    double vectors_per_s() const {
+        return sim_wall_ms > 0.0
+                   ? static_cast<double>(delays.size()) * 1e3 / sim_wall_ms
+                   : 0.0;
+    }
 };
 
-/// Deterministic pseudo-random stimulus, one vector per wave.
+/// Deterministic pseudo-random stimulus, one vector per wave.  Unpacks
+/// make_stimulus blocks, so lane L of block B == vector 64*B + L per seed.
 std::vector<std::vector<bool>> random_vectors(std::size_t count, std::size_t width,
                                               std::uint64_t seed);
 

@@ -1,6 +1,7 @@
 #include "sim/pl_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "fault/injector.hpp"
@@ -147,7 +148,7 @@ void pl_simulator::fire_source(pl::gate_id g) {
         ++fired_waves_[g];
         ++stats_.firings;
 
-        const bool value = (*vectors_)[wave][desc_[g].env_slot];
+        const bool value = stim_bit(wave, desc_[g].env_slot);
         const double t_out = t_ready + options_.delays.d_source;
         input_stable_[wave] = std::max(input_stable_[wave], t_out);
         for (pl::edge_id e : gate.out_edges) schedule(e, value, t_out);
@@ -375,7 +376,7 @@ void pl_simulator::fire_source_fast(pl::gate_id g) {
         ++fired_waves_[g];
         ++stats_.firings;
 
-        const bool value = (*vectors_)[wave][d.env_slot];
+        const bool value = stim_bit(wave, d.env_slot);
         const double t_out = t_ready + options_.delays.d_source;
         input_stable_[wave] = std::max(input_stable_[wave], t_out);
         const std::uint64_t tick = calendar_.tick_of(t_out);
@@ -618,13 +619,46 @@ std::vector<wave_record> pl_simulator::run(
             throw std::invalid_argument("pl_simulator::run: vector width mismatch");
         }
     }
+    // Transpose into the packed layout both engines now read from.
+    const std::size_t width = pl_.sources().size();
+    packed_stim_.assign((vectors.size() + k_lanes - 1) / k_lanes, {});
+    for (auto& block : packed_stim_) {
+        block.width = width;
+        block.words.assign(width, 0);
+    }
+    for (std::size_t w = 0; w < vectors.size(); ++w) {
+        stimulus_block& block = packed_stim_[w / k_lanes];
+        block.num_vectors = w % k_lanes + 1;
+        const std::uint64_t lane_bit = std::uint64_t{1} << (w % k_lanes);
+        for (std::size_t i = 0; i < width; ++i) {
+            if (vectors[w][i]) block.words[i] |= lane_bit;
+        }
+    }
+    return run_packed(packed_stim_);
+}
+
+std::vector<wave_record> pl_simulator::run_packed(
+    const std::vector<stimulus_block>& blocks) {
+    std::size_t count = 0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].width != pl_.sources().size()) {
+            throw std::invalid_argument("pl_simulator::run: vector width mismatch");
+        }
+        if (blocks[b].num_vectors == 0 || blocks[b].num_vectors > k_lanes ||
+            (b + 1 < blocks.size() && blocks[b].num_vectors != k_lanes)) {
+            throw std::invalid_argument(
+                "pl_simulator::run: every stimulus block except the last "
+                "must hold exactly 64 vectors");
+        }
+        count += blocks[b].num_vectors;
+    }
     if (pl_.sinks().empty()) {
         throw std::invalid_argument("pl_simulator::run: netlist has no outputs");
     }
 
     reset();
-    vectors_ = &vectors;
-    num_waves_ = vectors.size();
+    stim_ = blocks.data();
+    num_waves_ = count;
     released_waves_ = options_.non_pipelined ? 1 : num_waves_;
     release_time_.assign(num_waves_, 0.0);
     input_stable_.assign(num_waves_, 0.0);
@@ -666,6 +700,392 @@ std::vector<wave_record> pl_simulator::run(
         records.push_back(std::move(rec));
     }
     return records;
+}
+
+// ---------------------------------------------------------------------------
+// Lane engine: 64 independent single-vector runs through one event stream.
+//
+// Structure mirrors the calendar engine: same queue, same presence bitset,
+// same time array, same (time, seq) pop order.  What changes is the payload
+// — every data token carries a 64-bit value word instead of one bit.  The
+// cal_event key has no room for a word, so the word rides in a side array
+// (lane_sched_) indexed by edge: marked-graph safety guarantees at most one
+// deposit in flight per edge, and lane_inflight_ enforces it (an unsafe
+// netlist throws here instead of at place time).
+// ---------------------------------------------------------------------------
+
+void pl_simulator::schedule_lanes(std::uint64_t tick, double time,
+                                  pl::edge_id edge, std::uint64_t word) {
+    const std::size_t w = edge >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (edge & 63);
+    if (lane_inflight_[w] & bit) {
+        throw invariant_violation(
+            "two deposits in flight on edge " + std::to_string(edge) +
+                " (lane engine requires a safe netlist)",
+            options_.label, stats_.events, "lanes");
+    }
+    lane_inflight_[w] |= bit;
+    lane_sched_[edge] = word;
+    calendar_.push_at(tick, {time, cal_event::pack(next_seq_++, edge, false)});
+}
+
+void pl_simulator::place_lanes(pl::edge_id edge, double time) {
+    const std::size_t word = edge >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (edge & 63);
+    if (tok_present_[word] & bit) {
+        throw invariant_violation(
+            "token deposited onto an occupied edge " + std::to_string(edge) +
+                " (marked-graph safety violation)",
+            options_.label, stats_.events, "lanes");
+    }
+    tok_present_[word] |= bit;
+    lane_inflight_[word] &= ~bit;
+    lane_value_[edge] = lane_sched_[edge];
+    tok_time_[edge] = time;
+    const pl::gate_id g = topo_.edge_to[edge];
+    if (--pending_[g] == 0) try_fire_lanes(g);
+}
+
+void pl_simulator::fire_source_lanes(pl::gate_id g) {
+    const gate_desc& d = desc_[g];
+    while (pending_[g] == 0) {
+        const std::size_t wave = fired_waves_[g];
+        if (wave >= num_waves_ || wave >= released_waves_) return;
+
+        double t_ready = release_time_[wave];
+        for (std::uint32_t i = d.in_begin; i < d.in_end; ++i) {
+            const pl::edge_id e = topo_.in_flat[i];
+            t_ready = std::max(t_ready, tok_time_[e]);
+            tok_present_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+        }
+        pending_[g] = in_count_[g];
+        ++fired_waves_[g];
+        ++stats_.firings;
+
+        const std::uint64_t word = lane_block_->words[d.env_slot];
+        const double t_out = t_ready + options_.delays.d_source;
+        input_stable_[wave] = std::max(input_stable_[wave], t_out);
+        const std::uint64_t tick = calendar_.tick_of(t_out);
+        for (std::uint32_t i = d.out_begin; i < d.out_end; ++i) {
+            schedule_lanes(tick, t_out, topo_.out_flat[i], word);
+        }
+    }
+}
+
+void pl_simulator::record_sink_lanes(pl::gate_id g) {
+    const gate_desc& d = desc_[g];
+    const pl::edge_id data_edge = topo_.data_flat[d.data_begin];
+    const std::uint64_t tok_word = lane_value_[data_edge];
+    const double tok_time = tok_time_[data_edge];
+    const std::size_t wave = fired_waves_[g];
+
+    double t_ready = tok_time;
+    for (std::uint32_t i = d.in_begin; i < d.in_end; ++i) {
+        const pl::edge_id e = topo_.in_flat[i];
+        t_ready = std::max(t_ready, tok_time_[e]);
+        tok_present_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+    }
+    pending_[g] = in_count_[g];
+    ++fired_waves_[g];
+    ++stats_.firings;
+
+    const double t_ack = t_ready + options_.delays.ack_delay();
+    const std::uint64_t tick = calendar_.tick_of(t_ack);
+    for (std::uint32_t i = d.out_begin; i < d.out_end; ++i) {
+        schedule_lanes(tick, t_ack, topo_.out_flat[i], 0);
+    }
+
+    if (wave >= num_waves_) return;  // drain beyond the measured horizon
+    lane_sink_words_[d.env_slot] = tok_word;
+    output_stable_[wave] = std::max(output_stable_[wave], tok_time);
+    if (--sinks_pending_[wave] == 0) ++waves_stable_;
+}
+
+void pl_simulator::try_fire_lanes(pl::gate_id g) {
+    if (pending_[g] != 0) return;
+    const gate_desc& d = desc_[g];
+
+    switch (d.kind) {
+        case pl::gate_kind::source:
+            fire_source_lanes(g);
+            return;
+        case pl::gate_kind::sink:
+            record_sink_lanes(g);
+            return;
+        default:
+            break;
+    }
+
+    const pl::edge_id* const in_flat = topo_.in_flat.data();
+    const double* const tok_time = tok_time_.data();
+    double t_ready = 0.0;
+    for (std::uint32_t i = d.in_begin; i < d.in_end; ++i) {
+        const pl::edge_id e = in_flat[i];
+        t_ready = std::max(t_ready, tok_time[e]);
+        tok_present_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+    }
+    const pl::edge_id* const data_flat = topo_.data_flat.data() + d.data_begin;
+    std::uint64_t ins[bf::k_max_vars];
+    double t_data = 0.0;
+    for (std::uint8_t pin = 0; pin < d.num_data; ++pin) {
+        const pl::edge_id e = data_flat[pin];
+        ins[pin] = lane_value_[e];
+        t_data = std::max(t_data, tok_time[e]);
+    }
+    const bool has_trigger = d.efire_in != pl::k_invalid_edge;
+    double efire_time = 0.0;
+    std::uint64_t efire_word = 0;
+    if (has_trigger) {
+        efire_time = tok_time[d.efire_in];
+        efire_word = lane_value_[d.efire_in];
+    }
+
+    pending_[g] = in_count_[g];
+    ++fired_waves_[g];
+    ++stats_.firings;
+
+    std::uint64_t value = 0;
+    double t_out = 0.0;
+    switch (d.kind) {
+        case pl::gate_kind::const_source:
+            value = d.const_value ? ~std::uint64_t{0} : 0;
+            t_out = t_ready + options_.delays.d_source;
+            break;
+        case pl::gate_kind::through:
+            value = d.num_data != 0 ? ins[0] : 0;  // identity on the D token
+            t_out = t_ready + options_.delays.through_delay();
+            break;
+        case pl::gate_kind::trigger:
+            value = bf::truth_table::eval_word_lanes(d.fn_bits.data(),
+                                                     d.num_data, ins);
+            t_out = t_ready + options_.delays.gate_delay();
+            break;
+        case pl::gate_kind::compute: {
+            value = bf::truth_table::eval_word_lanes(d.fn_bits.data(),
+                                                     d.num_data, ins);
+            if (!has_trigger) {
+                t_out = t_ready + options_.delays.gate_delay();
+                break;
+            }
+            if (options_.check_early_value) {
+                // Values are timing-independent, so the invariant is checked
+                // word-wide for every lane this pass still owns.
+                std::uint64_t tins[bf::k_max_vars];
+                for (std::uint8_t i = 0; i < d.trig_pin_count; ++i) {
+                    tins[i] = ins[d.trig_pins[i]];
+                }
+                const std::uint64_t trig = bf::truth_table::eval_word_lanes(
+                    d.trig_fn_bits.data(), d.trig_pin_count, tins);
+                if ((trig ^ efire_word) & lane_mask_) {
+                    throw invariant_violation(
+                        "efire token disagrees with the trigger function (EE "
+                        "invariant violated)",
+                        options_.label, stats_.events, "lanes");
+                }
+            }
+            // The only divergence point: a mixed efire word means the lanes
+            // disagree on which output path fires.  Keep the majority in
+            // lockstep, defer the minority to its own pass from t = 0.
+            std::uint64_t hit = efire_word & lane_mask_;
+            if (hit != 0 && hit != lane_mask_) {
+                const std::uint64_t miss = lane_mask_ & ~efire_word;
+                const std::uint64_t keep =
+                    2 * std::popcount(hit) >= std::popcount(lane_mask_) ? hit
+                                                                        : miss;
+                lane_deferred_.push_back(lane_mask_ ^ keep);
+                ++stats_.lane_splits;
+                lane_mask_ = keep;
+                hit = efire_word & lane_mask_;
+            }
+            const double normal =
+                t_data + options_.delays.gate_delay() + options_.delays.d_ee_penalty;
+            if (hit != 0) {
+                const double early = efire_time + options_.delays.efire_delay();
+                t_out = std::min(early, normal);
+                ++lane_hits_;
+                if (early < normal) ++lane_wins_;
+            } else {
+                t_out = normal;
+                ++lane_misses_;
+            }
+            break;
+        }
+        default:
+            throw invariant_violation("unexpected gate kind in firing",
+                                      options_.label, stats_.events, "lanes");
+    }
+
+    const double t_ack = t_ready + options_.delays.ack_delay();
+    const std::uint64_t tick_out = calendar_.tick_of(t_out);
+    const std::uint64_t tick_ack = calendar_.tick_of(t_ack);
+    const pl::edge_id* const out_flat = topo_.out_flat.data();
+    for (std::uint32_t i = d.out_begin; i < d.out_end; ++i) {
+        const pl::edge_id e = out_flat[i];
+        if (topo_.edge_is_ack[e]) {
+            schedule_lanes(tick_ack, t_ack, e, value);
+        } else {
+            schedule_lanes(tick_out, t_out, e, value);
+        }
+    }
+}
+
+void pl_simulator::run_lane_pass(std::uint64_t mask, lane_block_result& result) {
+    lane_mask_ = mask;
+    lane_hits_ = lane_misses_ = lane_wins_ = 0;
+    next_seq_ = 0;
+    pending_ = in_count_;
+    fired_waves_.assign(pl_.num_gates(), 0);
+    num_waves_ = 1;
+    released_waves_ = 1;
+    release_time_.assign(1, 0.0);
+    input_stable_.assign(1, 0.0);
+    output_stable_.assign(1, 0.0);
+    sinks_pending_.assign(1, pl_.sinks().size());
+    waves_stable_ = 0;
+
+    const std::size_t num_edges = pl_.num_edges();
+    tok_present_.assign((num_edges + 63) / 64, 0);
+    tok_time_.assign(num_edges, 0.0);
+    lane_value_.assign(num_edges, 0);
+    lane_sched_.assign(num_edges, 0);
+    lane_inflight_.assign((num_edges + 63) / 64, 0);
+    calendar_.reset(bucket_width_for(options_.delays),
+                    max_delay_for(options_.delays), num_edges);
+
+    // Initial marking: tokens in place at t = 0, values broadcast to every
+    // lane (the marking is per-netlist, not per-vector).
+    for (pl::edge_id e = 0; e < num_edges; ++e) {
+        const pl::pl_edge& edge = pl_.edge(e);
+        if (edge.init_token) {
+            tok_present_[e >> 6] |= std::uint64_t{1} << (e & 63);
+            lane_value_[e] = edge.init_value ? ~std::uint64_t{0} : 0;
+            --pending_[edge.to];
+        }
+    }
+    for (pl::gate_id g = 0; g < pl_.num_gates(); ++g) {
+        if (pending_[g] == 0 && in_count_[g] != 0) try_fire_lanes(g);
+        if (pending_[g] == 0 && in_count_[g] == 0 &&
+            desc_[g].kind == pl::gate_kind::source &&
+            desc_[g].out_end != desc_[g].out_begin) {
+            try_fire_lanes(g);
+        }
+    }
+
+    std::uint64_t events = stats_.events;
+    const std::uint64_t max_events = options_.max_events;
+    cancel_token* const cancel = options_.cancel;
+    try {
+        while (!calendar_.empty() && waves_stable_ < num_waves_) {
+            if (++events > max_events) {
+                throw budget_exhausted(options_.label, events, "lanes");
+            }
+            if ((events & (k_cancel_check_events - 1)) == 0) {
+                stats_.events = events;
+                if (cancel != nullptr && cancel->expired()) {
+                    throw job_timeout("sim.events", options_.label, events);
+                }
+                fault::injector::instance().check("sim.fire", events);
+            }
+            const cal_event& dep = calendar_.pop_min();
+            place_lanes(dep.edge(), dep.time);
+        }
+    } catch (...) {
+        stats_.events = events;
+        throw;
+    }
+    stats_.events = events;
+    if (waves_stable_ < num_waves_) {
+        throw deadlock_error(options_.label, deadlock_diagnostic(),
+                             stats_.events, "lanes");
+    }
+
+    // Commit the lanes this pass retained.  Values are correct for every
+    // lane, so masking is only needed because deferred lanes replay with
+    // their own (correct) timing.
+    ++stats_.lane_runs;
+    const std::uint64_t kept = lane_mask_;
+    const std::uint64_t n = static_cast<std::uint64_t>(std::popcount(kept));
+    stats_.ee_hits += lane_hits_ * n;
+    stats_.ee_misses += lane_misses_ * n;
+    stats_.ee_wins += lane_wins_ * n;
+    for (std::size_t j = 0; j < lane_sink_words_.size(); ++j) {
+        result.outputs[j] =
+            (result.outputs[j] & ~kept) | (lane_sink_words_[j] & kept);
+    }
+    for (std::uint64_t rest = kept; rest != 0; rest &= rest - 1) {
+        const int lane = std::countr_zero(rest);
+        result.input_stable[static_cast<std::size_t>(lane)] = input_stable_[0];
+        result.output_stable[static_cast<std::size_t>(lane)] = output_stable_[0];
+    }
+}
+
+lane_block_result pl_simulator::run_lanes(const stimulus_block& block) {
+    if (block.width != pl_.sources().size()) {
+        throw std::invalid_argument("pl_simulator::run_lanes: width mismatch");
+    }
+    if (block.num_vectors == 0 || block.num_vectors > k_lanes) {
+        throw std::invalid_argument(
+            "pl_simulator::run_lanes: block must hold 1..64 vectors");
+    }
+    if (pl_.sinks().empty()) {
+        throw std::invalid_argument(
+            "pl_simulator::run_lanes: netlist has no outputs");
+    }
+    if (options_.collect_trace) {
+        throw std::invalid_argument(
+            "pl_simulator::run_lanes: waveform tracing requires the scalar "
+            "engine (lane tokens have no single trace value)");
+    }
+
+    lane_block_result result;
+    result.num_vectors = block.num_vectors;
+    result.outputs.assign(pl_.sinks().size(), 0);
+
+    const bool calendar_fits = pl_.num_edges() < cal_event::k_max_edges &&
+                               options_.max_events < cal_event::k_max_seq / 2;
+    if (options_.queue == queue_kind::binary_heap || !calendar_fits) {
+        // Scalar fallback: one run per lane, identical results by
+        // construction.  Stats are summed so callers see block totals.
+        sim_run_stats total{};
+        std::vector<std::vector<bool>> one(1);
+        for (std::size_t lane = 0; lane < block.num_vectors; ++lane) {
+            block.extract(lane, one.front());
+            const std::vector<wave_record> recs = run(one);
+            total.events += stats_.events;
+            total.firings += stats_.firings;
+            total.ee_hits += stats_.ee_hits;
+            total.ee_misses += stats_.ee_misses;
+            total.ee_wins += stats_.ee_wins;
+            ++total.lane_runs;
+            const wave_record& rec = recs.front();
+            for (std::size_t j = 0; j < rec.outputs.size(); ++j) {
+                if (rec.outputs[j]) {
+                    result.outputs[j] |= std::uint64_t{1} << lane;
+                }
+            }
+            result.input_stable[lane] = rec.input_stable;
+            result.output_stable[lane] = rec.output_stable;
+        }
+        total.lane_blocks = 1;
+        total.lane_vectors = block.num_vectors;
+        stats_ = total;
+        return result;
+    }
+
+    reset();
+    stats_.lane_blocks = 1;
+    stats_.lane_vectors = block.num_vectors;
+    lane_block_ = &block;
+    lane_sink_words_.assign(pl_.sinks().size(), 0);
+    lane_deferred_.clear();
+    lane_deferred_.push_back(block.lane_mask());
+    while (!lane_deferred_.empty()) {
+        const std::uint64_t mask = lane_deferred_.back();
+        lane_deferred_.pop_back();
+        run_lane_pass(mask, result);
+    }
+    lane_block_ = nullptr;
+    return result;
 }
 
 std::string pl_simulator::deadlock_diagnostic() const {

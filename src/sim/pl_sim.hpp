@@ -50,6 +50,26 @@
 // the ITC99 suite and every workload preset by tests/test_sim_queue.cpp, and
 // cross-checked at bench time by bench_sim_queue (~3x events/s on the fleet
 // mix, BENCH_sim.json).
+//
+// ## Lane-parallel mode (run_lanes)
+//
+// run_lanes packs 64 independent single-vector simulations into one engine
+// pass: every data token carries a 64-bit value word (bit L = lane L's
+// value), LUT and trigger evaluation run through the mux-tree word kernel
+// bf::truth_table::eval_word_lanes, and one calendar event serves all lanes.
+// Token *values* are timing-independent in a marked graph (every gate fires
+// exactly once per wave whatever the delays), so the value words are correct
+// for all 64 lanes unconditionally; only the *times* can diverge, and the
+// single place they can is an EE master whose efire token differs across
+// lanes (early vs normal output path).  The engine therefore runs all lanes
+// in lockstep while every EE firing is homogeneous across the active lane
+// mask; on the first mixed efire word it splits the mask, keeps the majority
+// subset in the current pass, and defers the minority lanes to their own
+// pass restarted from t = 0.  Each retained lane's wave record is
+// bit-identical to a serial run({vector}) of that lane (asserted by
+// tests/test_lane_sim.cpp over every workload preset and ITC99 b01-b10).
+// Circuits without EE (or with unanimous triggers) never split: one pass
+// serves all 64 lanes.  See src/sim/README.md for the full contract.
 
 #pragma once
 
@@ -65,6 +85,7 @@
 #include "rt/cancel.hpp"
 #include "sim/calendar_queue.hpp"
 #include "sim/delay_model.hpp"
+#include "sim/stimulus.hpp"
 
 namespace plee::sim {
 
@@ -133,11 +154,33 @@ struct wave_record {
 };
 
 struct sim_run_stats {
+    /// events and firings count engine work (one word-firing serves up to 64
+    /// lanes in lane mode); the ee_* counters count per-lane semantics (a
+    /// lane-pass firing contributes once per lane the pass retains), so EE
+    /// hit rates agree with the equivalent serial runs.
     std::uint64_t events = 0;
     std::uint64_t firings = 0;
     std::uint64_t ee_hits = 0;    ///< master firings with efire == 1
     std::uint64_t ee_misses = 0;  ///< master firings with efire == 0
     std::uint64_t ee_wins = 0;    ///< hits where the efire path strictly won
+    // Lane-engine telemetry (zero for scalar runs).
+    std::uint64_t lane_blocks = 0;   ///< stimulus blocks simulated
+    std::uint64_t lane_vectors = 0;  ///< vectors (occupied lanes) simulated
+    std::uint64_t lane_runs = 0;     ///< engine passes (1 = pure lockstep)
+    std::uint64_t lane_splits = 0;   ///< divergence events (mask partitions)
+};
+
+/// Result of one lane-parallel block run: per-lane measurements plus the
+/// primary output values in lane-packed form (bit L of outputs[j] = lane L's
+/// value of sink j).  Lane L reproduces run({vector L}) bit for bit.
+struct lane_block_result {
+    std::size_t num_vectors = 0;  ///< occupied lanes (== block.num_vectors)
+    std::vector<std::uint64_t> outputs;       ///< per sink, lane-packed
+    std::array<double, k_lanes> input_stable{};   ///< per lane
+    std::array<double, k_lanes> output_stable{};  ///< per lane
+    /// The paper's per-vector delay for lane L; release time is 0 (every
+    /// lane is an independent single-vector run from reset).
+    double delay(std::size_t lane) const { return output_stable[lane]; }
 };
 
 class pl_simulator {
@@ -148,8 +191,27 @@ public:
     /// primary input in pl.sources() order.  Throws the typed failures of
     /// sim/errors.hpp: deadlock_error, budget_exhausted,
     /// invariant_violation (safety / EE invariant), and plee::job_timeout
-    /// when options.cancel expires mid-run.
+    /// when options.cancel expires mid-run.  Packs the vectors and delegates
+    /// to run_packed.
     std::vector<wave_record> run(const std::vector<std::vector<bool>>& vectors);
+
+    /// The same sequential-wave protocol over bit-packed stimulus: wave k is
+    /// lane (k % 64) of blocks[k / 64].  Every block except the last must be
+    /// full (64 vectors).  This is the allocation-light path measure uses.
+    std::vector<wave_record> run_packed(const std::vector<stimulus_block>& blocks);
+
+    /// Lane-parallel mode: simulates every occupied lane of `block` as an
+    /// independent single-vector run from reset, all lanes advancing through
+    /// one event stream while their schedules agree (see the header comment
+    /// for the lockstep/divergence contract).  Lane L of the result is
+    /// bit-identical to run({vector L}).  stats() afterwards covers the
+    /// whole block: events/firings count engine work, ee_* count per-lane
+    /// semantics, lane_runs tells how many passes the block needed.
+    /// Requires options.collect_trace == false (throws std::invalid_argument
+    /// — per-lane waveforms would need 64 scalar runs anyway).  Netlists
+    /// that do not fit the calendar layout, and the binary_heap engine
+    /// selection, fall back to 64 scalar runs internally.
+    lane_block_result run_lanes(const stimulus_block& block);
 
     const sim_run_stats& stats() const { return stats_; }
 
@@ -208,6 +270,20 @@ private:
         return (tok_value_[e >> 6] >> (e & 63)) & 1u;
     }
 
+    // --- Lane engine (calendar queue, 64-bit value words per token) --------
+    void run_lane_pass(std::uint64_t mask, lane_block_result& result);
+    void schedule_lanes(std::uint64_t tick, double time, pl::edge_id edge,
+                        std::uint64_t word);
+    void place_lanes(pl::edge_id edge, double time);
+    void try_fire_lanes(pl::gate_id g);
+    void fire_source_lanes(pl::gate_id g);
+    void record_sink_lanes(pl::gate_id g);
+
+    /// Wave k's value of source slot `slot`: lane (k & 63) of block (k >> 6).
+    bool stim_bit(std::size_t wave, std::uint32_t slot) const {
+        return (stim_[wave >> 6].words[slot] >> (wave & 63)) & 1u;
+    }
+
     const pl::pl_netlist& pl_;
     sim_options options_;
     sim_run_stats stats_;
@@ -233,8 +309,21 @@ private:
     std::vector<std::uint32_t> fired_waves_;  ///< per gate: completed firings
     std::uint64_t next_seq_ = 0;
 
+    // Per-run state — lane engine.
+    std::vector<std::uint64_t> lane_value_;     ///< per edge: lane-packed value
+    std::vector<std::uint64_t> lane_sched_;     ///< per edge: in-flight value word
+    std::vector<std::uint64_t> lane_inflight_;  ///< bitset: deposit scheduled
+    std::uint64_t lane_mask_ = 0;               ///< lanes this pass simulates
+    std::vector<std::uint64_t> lane_deferred_;  ///< masks awaiting their own pass
+    const stimulus_block* lane_block_ = nullptr;
+    std::vector<std::uint64_t> lane_sink_words_;  ///< per sink, this pass
+    std::uint64_t lane_hits_ = 0;    ///< per-pass EE counters, committed at
+    std::uint64_t lane_misses_ = 0;  ///< pass end x the lanes the pass kept
+    std::uint64_t lane_wins_ = 0;
+
     std::vector<trace_event> trace_;
-    const std::vector<std::vector<bool>>* vectors_ = nullptr;
+    const stimulus_block* stim_ = nullptr;  ///< sequential-wave stimulus
+    std::vector<stimulus_block> packed_stim_;  ///< run(vectors) pack buffer
     std::size_t num_waves_ = 0;
     std::size_t released_waves_ = 0;
     std::vector<double> release_time_;        ///< per wave

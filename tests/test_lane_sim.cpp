@@ -1,0 +1,320 @@
+// Tests for the 64-lane word-parallel simulation mode: the sync golden
+// model's lane kernel, the PL event engine's run_lanes (lockstep, divergence
+// splits, stats accounting, heap fallback), the lane-packed stimulus, and
+// the lanes=64 measurement path.  The contract under test everywhere: lane L
+// is bit-identical to a scalar/serial run of lane L's vector alone.
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/itc99.hpp"
+#include "ee/ee_transform.hpp"
+#include "netlist/sync_sim.hpp"
+#include "plogic/pl_mapper.hpp"
+#include "sim/measure.hpp"
+#include "sim/pl_sim.hpp"
+#include "sim/stimulus.hpp"
+#include "workload/workload.hpp"
+
+namespace plee::sim {
+namespace {
+
+struct built_circuit {
+    nl::netlist sync;
+    pl::pl_netlist pl;
+};
+
+built_circuit build_preset(wl::scenario kind, std::size_t gates,
+                           std::uint64_t seed, bool with_ee) {
+    built_circuit c;
+    c.sync = wl::generate(wl::scenario_params(kind, gates, seed));
+    pl::map_result mapped = pl::map_to_phased_logic(c.sync);
+    if (with_ee) ee::apply_early_evaluation(mapped.pl);
+    c.pl = std::move(mapped.pl);
+    return c;
+}
+
+built_circuit build_bench(const std::string& id, bool with_ee) {
+    built_circuit c;
+    c.sync = bench::build_benchmark(id);
+    pl::map_result mapped = pl::map_to_phased_logic(c.sync);
+    if (with_ee) ee::apply_early_evaluation(mapped.pl);
+    c.pl = std::move(mapped.pl);
+    return c;
+}
+
+/// The shared oracle: run_lanes over every block must reproduce, lane for
+/// lane, a serial single-vector run — sink values, input/output stable
+/// times — and the summed EE counters of the lane runs must equal the
+/// summed counters of the serial runs.
+void expect_lanes_match_serial(const pl::pl_netlist& plnl, std::uint64_t seed,
+                               std::size_t count, sim_options opts = {},
+                               std::uint64_t* splits_out = nullptr) {
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(count, plnl.sources().size(), seed);
+    pl_simulator lane_sim(plnl, opts);
+    pl_simulator ref(plnl, opts);
+    sim_run_stats lane_total{};
+    sim_run_stats ref_total{};
+    std::vector<std::vector<bool>> one(1);
+    for (const stimulus_block& block : blocks) {
+        const lane_block_result lr = lane_sim.run_lanes(block);
+        ASSERT_EQ(lr.num_vectors, block.num_vectors);
+        const sim_run_stats& ls = lane_sim.stats();
+        EXPECT_EQ(ls.lane_blocks, 1u);
+        EXPECT_EQ(ls.lane_vectors, block.num_vectors);
+        EXPECT_GE(ls.lane_runs, 1u);
+        lane_total.ee_hits += ls.ee_hits;
+        lane_total.ee_misses += ls.ee_misses;
+        lane_total.ee_wins += ls.ee_wins;
+        lane_total.lane_splits += ls.lane_splits;
+        for (std::size_t lane = 0; lane < block.num_vectors; ++lane) {
+            block.extract(lane, one[0]);
+            const std::vector<wave_record> waves = ref.run(one);
+            ASSERT_EQ(waves.size(), 1u);
+            const sim_run_stats& rs = ref.stats();
+            ref_total.ee_hits += rs.ee_hits;
+            ref_total.ee_misses += rs.ee_misses;
+            ref_total.ee_wins += rs.ee_wins;
+            const wave_record& w = waves.front();
+            EXPECT_DOUBLE_EQ(lr.input_stable[lane], w.input_stable)
+                << "lane " << lane;
+            EXPECT_DOUBLE_EQ(lr.output_stable[lane], w.output_stable)
+                << "lane " << lane;
+            ASSERT_EQ(lr.outputs.size(), w.outputs.size());
+            for (std::size_t j = 0; j < w.outputs.size(); ++j) {
+                EXPECT_EQ(((lr.outputs[j] >> lane) & 1u) != 0, w.outputs[j])
+                    << "lane " << lane << " sink " << j;
+            }
+        }
+    }
+    EXPECT_EQ(lane_total.ee_hits, ref_total.ee_hits);
+    EXPECT_EQ(lane_total.ee_misses, ref_total.ee_misses);
+    EXPECT_EQ(lane_total.ee_wins, ref_total.ee_wins);
+    if (splits_out != nullptr) *splits_out = lane_total.lane_splits;
+}
+
+// --- Stimulus ------------------------------------------------------------
+
+TEST(LaneStimulus, PackedBlocksMatchRandomVectors) {
+    const std::size_t count = 150;  // 2 full blocks + a partial one
+    const std::size_t width = 11;
+    const std::uint64_t seed = 42;
+    const std::vector<stimulus_block> blocks = make_stimulus(count, width, seed);
+    const std::vector<std::vector<bool>> vectors =
+        random_vectors(count, width, seed);
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].num_vectors, 64u);
+    EXPECT_EQ(blocks[1].num_vectors, 64u);
+    EXPECT_EQ(blocks[2].num_vectors, 22u);
+    EXPECT_EQ(blocks[2].lane_mask(), (std::uint64_t{1} << 22) - 1);
+    std::vector<bool> out;
+    for (std::size_t v = 0; v < count; ++v) {
+        const stimulus_block& b = blocks[v / k_lanes];
+        for (std::size_t i = 0; i < width; ++i) {
+            EXPECT_EQ(b.bit(v % k_lanes, i), vectors[v][i]);
+        }
+        b.extract(v % k_lanes, out);
+        EXPECT_EQ(out, vectors[v]);
+    }
+}
+
+// --- Synchronous golden model -------------------------------------------
+
+TEST(SyncLanes, MatchesScalarOverMultiCycleTrajectories) {
+    // Latch-heavy preset: the DFF state words must track 64 independent
+    // per-lane trajectories across clock edges, not just one eval.
+    const built_circuit c =
+        build_preset(wl::scenario::control_fsm, 80, 7, false);
+    const std::size_t num_inputs = c.sync.inputs().size();
+    const std::size_t num_outputs = c.sync.outputs().size();
+    const std::size_t cycles = 8;
+
+    std::mt19937_64 rng(99);
+    std::vector<std::vector<std::uint64_t>> stimulus(cycles);
+    for (auto& words : stimulus) {
+        words.resize(num_inputs);
+        for (std::uint64_t& w : words) w = rng();
+    }
+
+    nl::sync_lane_simulator lanes(c.sync);
+    lanes.reset();
+    std::vector<std::vector<std::uint64_t>> lane_outputs(cycles);
+    for (std::size_t k = 0; k < cycles; ++k) {
+        lanes.set_inputs(stimulus[k].data(), num_inputs);
+        lanes.eval();
+        lane_outputs[k].resize(num_outputs);
+        lanes.output_values(lane_outputs[k].data());
+        lanes.latch();
+    }
+
+    for (std::size_t lane = 0; lane < k_lanes; ++lane) {
+        nl::sync_simulator scalar(c.sync);
+        scalar.reset();
+        std::vector<bool> inputs(num_inputs);
+        for (std::size_t k = 0; k < cycles; ++k) {
+            for (std::size_t i = 0; i < num_inputs; ++i) {
+                inputs[i] = (stimulus[k][i] >> lane) & 1u;
+            }
+            scalar.set_inputs(inputs);
+            scalar.eval();
+            const std::vector<bool> outs = scalar.output_values();
+            for (std::size_t j = 0; j < num_outputs; ++j) {
+                ASSERT_EQ(((lane_outputs[k][j] >> lane) & 1u) != 0, outs[j])
+                    << "cycle " << k << " lane " << lane << " output " << j;
+            }
+            scalar.latch();
+        }
+    }
+}
+
+// --- PL event engine: run_lanes vs serial --------------------------------
+
+TEST(LaneSim, MatchesSerialAcrossWorkloadPresets) {
+    for (const wl::scenario kind : wl::all_scenarios()) {
+        SCOPED_TRACE(wl::to_string(kind));
+        for (const bool with_ee : {false, true}) {
+            SCOPED_TRACE(with_ee ? "ee" : "plain");
+            const built_circuit c = build_preset(kind, 80, 5, with_ee);
+            expect_lanes_match_serial(c.pl, /*seed=*/0xfeedu + with_ee,
+                                      /*count=*/64);
+        }
+    }
+}
+
+TEST(LaneSim, MatchesSerialOnItc99) {
+    for (const char* id : {"b01", "b02", "b03", "b04", "b05", "b06", "b07",
+                           "b08", "b09", "b10"}) {
+        SCOPED_TRACE(id);
+        for (const bool with_ee : {false, true}) {
+            SCOPED_TRACE(with_ee ? "ee" : "plain");
+            const built_circuit c = build_bench(id, with_ee);
+            expect_lanes_match_serial(c.pl, /*seed=*/0xb10cu, /*count=*/64);
+        }
+    }
+}
+
+TEST(LaneSim, PartialBlockAndMultiBlockCounts) {
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 60, 3, true);
+    // 100 vectors = one full block + a 36-lane partial block.
+    expect_lanes_match_serial(c.pl, /*seed=*/17, /*count=*/100);
+}
+
+TEST(LaneSim, DivergenceSplitsStayBitIdentical) {
+    // A tie-heavy delay model (every component delay equal) maximizes
+    // simultaneous efire/normal arrivals; with EE applied the 64 lanes must
+    // actually exercise the split-and-defer path, not pure lockstep.
+    sim_options opts;
+    opts.delays.d_celem = 1.0;
+    opts.delays.d_lut = 1.0;
+    opts.delays.d_latch = 1.0;
+    opts.delays.d_ee_penalty = 1.0;
+    opts.delays.d_source = 1.0;
+    std::uint64_t splits = 0;
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 120, 11, true);
+    expect_lanes_match_serial(c.pl, /*seed=*/23, /*count=*/64, opts, &splits);
+    EXPECT_GT(splits, 0u);
+}
+
+TEST(LaneSim, PureLockstepWithoutEarlyEvaluation) {
+    // No EE masters -> no divergence source: one pass serves all 64 lanes.
+    const built_circuit c =
+        build_preset(wl::scenario::random_dag, 80, 9, false);
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(64, c.pl.sources().size(), 31);
+    pl_simulator simulator(c.pl);
+    simulator.run_lanes(blocks.front());
+    EXPECT_EQ(simulator.stats().lane_runs, 1u);
+    EXPECT_EQ(simulator.stats().lane_splits, 0u);
+}
+
+TEST(LaneSim, HeapEngineFallsBackToSerialAndMatchesCalendar) {
+    const built_circuit c =
+        build_preset(wl::scenario::control_fsm, 60, 13, true);
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(40, c.pl.sources().size(), 77);
+    sim_options heap_opts;
+    heap_opts.queue = queue_kind::binary_heap;
+    pl_simulator heap_sim(c.pl, heap_opts);
+    pl_simulator cal_sim(c.pl);
+    const lane_block_result h = heap_sim.run_lanes(blocks.front());
+    const lane_block_result k = cal_sim.run_lanes(blocks.front());
+    ASSERT_EQ(h.num_vectors, k.num_vectors);
+    EXPECT_EQ(h.outputs, k.outputs);
+    for (std::size_t lane = 0; lane < h.num_vectors; ++lane) {
+        EXPECT_DOUBLE_EQ(h.input_stable[lane], k.input_stable[lane]);
+        EXPECT_DOUBLE_EQ(h.output_stable[lane], k.output_stable[lane]);
+    }
+    // The fallback is 40 scalar runs; the per-lane EE semantics still agree.
+    EXPECT_EQ(heap_sim.stats().lane_runs, 40u);
+    EXPECT_EQ(heap_sim.stats().lane_vectors, 40u);
+    EXPECT_EQ(heap_sim.stats().ee_hits, cal_sim.stats().ee_hits);
+    EXPECT_EQ(heap_sim.stats().ee_misses, cal_sim.stats().ee_misses);
+    EXPECT_EQ(heap_sim.stats().ee_wins, cal_sim.stats().ee_wins);
+}
+
+TEST(LaneSim, RejectsBadArguments) {
+    const built_circuit c =
+        build_preset(wl::scenario::random_dag, 40, 19, false);
+    const std::size_t width = c.pl.sources().size();
+
+    sim_options trace_opts;
+    trace_opts.collect_trace = true;
+    pl_simulator tracing(c.pl, trace_opts);
+    const std::vector<stimulus_block> ok = make_stimulus(8, width, 1);
+    EXPECT_THROW(tracing.run_lanes(ok.front()), std::invalid_argument);
+
+    pl_simulator simulator(c.pl);
+    const std::vector<stimulus_block> narrow = make_stimulus(8, width + 1, 1);
+    EXPECT_THROW(simulator.run_lanes(narrow.front()), std::invalid_argument);
+
+    stimulus_block empty;
+    empty.width = width;
+    empty.num_vectors = 0;
+    empty.words.assign(width, 0);
+    EXPECT_THROW(simulator.run_lanes(empty), std::invalid_argument);
+}
+
+// --- Measurement path ----------------------------------------------------
+
+TEST(LaneMeasure, MatchesSerialPerVectorReference) {
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 80, 21, true);
+    measure_options opts;
+    opts.num_vectors = 100;
+    opts.seed = 4242;
+    opts.lanes = k_lanes;
+    const measure_result r = measure_average_delay(c.pl, &c.sync, opts);
+    EXPECT_EQ(r.lanes, k_lanes);
+    EXPECT_EQ(r.mismatched_waves, 0u);
+    ASSERT_EQ(r.delays.size(), 100u);
+    EXPECT_GE(r.lockstep_fraction, 0.0);
+    EXPECT_LE(r.lockstep_fraction, 1.0);
+
+    // Every reported delay must equal a fresh serial single-vector run.
+    const std::vector<std::vector<bool>> vectors =
+        random_vectors(100, c.pl.sources().size(), opts.seed);
+    pl_simulator ref(c.pl);
+    for (std::size_t v = 0; v < vectors.size(); ++v) {
+        const std::vector<wave_record> waves = ref.run({vectors[v]});
+        EXPECT_DOUBLE_EQ(r.delays[v], waves.front().delay()) << "vector " << v;
+    }
+}
+
+TEST(LaneMeasure, RejectsUnsupportedLaneCounts) {
+    const built_circuit c =
+        build_preset(wl::scenario::random_dag, 40, 25, false);
+    measure_options opts;
+    opts.lanes = 8;
+    EXPECT_THROW(measure_average_delay(c.pl, &c.sync, opts),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plee::sim

@@ -15,6 +15,7 @@
 //   --threads N    worker pool size, 0 = hardware_concurrency (default 0)
 //   --vectors V    random vectors per measurement             (default 20)
 //   --queue Q      simulator event queue: calendar | heap     (default calendar)
+//   --lanes L      stimulus lanes per engine pass: 1 | 64     (default 1)
 //   --no-check     skip the per-firing EE invariant check in the simulator
 //   --no-share     per-circuit private trigger caches instead of the
 //                  fleet-shared concurrent cache
@@ -53,7 +54,8 @@ void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
                  "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
-                 "       [--queue calendar|heap] [--no-check] [--no-share]\n"
+                 "       [--queue calendar|heap] [--lanes 1|64] [--no-check] "
+                 "[--no-share]\n"
                  "       [--job-deadline-ms MS] [--max-retries N] [--fail-fast]\n"
                  "       [--inject SPEC] [--json PATH]\n",
                  argv0);
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
     std::size_t vectors = 20;
     bool share = true;
     sim::queue_kind queue = sim::sim_options{}.queue;
+    std::size_t lanes = 1;
     bool check_early_value = true;
     std::string json_path;
     double job_deadline_ms = 0.0;
@@ -117,6 +120,11 @@ int main(int argc, char** argv) {
                 usage(argv[0]);
                 return 1;
             }
+        } else if (std::strcmp(argv[i], "--lanes") == 0) {
+            const char* v = next();
+            if (v == nullptr) { usage(argv[0]); return 1; }
+            lanes = std::strtoull(v, nullptr, 10);
+            if (lanes != 1 && lanes != sim::k_lanes) { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--no-check") == 0) {
             check_early_value = false;
         } else if (std::strcmp(argv[i], "--no-share") == 0) {
@@ -193,6 +201,7 @@ int main(int argc, char** argv) {
         opts.max_retries = max_retries;
         opts.fail_fast = fail_fast;
         opts.experiment.measure.num_vectors = vectors;
+        opts.experiment.measure.lanes = lanes;
         opts.experiment.measure.sim.queue = queue;
         opts.experiment.measure.sim.check_early_value = check_early_value;
         if (seed_given) opts.experiment.measure.seed = seed;
@@ -223,11 +232,18 @@ int main(int argc, char** argv) {
                     "exhausted, %zu retried\n",
                     fleet.jobs_ok, fleet.jobs_failed, fleet.jobs_timed_out,
                     fleet.jobs_budget_exhausted, fleet.jobs_retried);
-        std::printf("simulator (%s queue): %llu events in %.0f ms of summed "
-                    "shard time = %.0f events/s per core\n",
-                    sim::to_string(queue),
+        std::printf("simulator (%s queue, %zu lanes): %llu events in %.0f ms "
+                    "of summed shard time = %.0f events/s per core, %.0f "
+                    "vectors/s\n",
+                    sim::to_string(queue), lanes,
                     static_cast<unsigned long long>(fleet.total_sim_events),
-                    fleet.total_sim_wall_ms, fleet.sim_events_per_s());
+                    fleet.total_sim_wall_ms, fleet.sim_events_per_s(),
+                    fleet.vectors_per_s());
+        if (lanes > 1) {
+            std::printf("lane engine: lockstep fraction %.3f across the "
+                        "fleet's measurements\n",
+                        fleet.lockstep_fraction);
+        }
         std::printf("trigger cache (%s): %.1f%% hit rate, %llu hits / %llu "
                     "misses, %zu entries\n",
                     share ? "fleet-shared" : "per-circuit",

@@ -15,6 +15,9 @@
 //   --seed S           stimulus seed                        (default fixed)
 //   --queue Q          simulator event queue: calendar | heap
 //                      (default calendar; results are bit-identical)
+//   --lanes L          stimulus lanes per engine pass: 1 | 64
+//                      (default 1 = the paper's sequential protocol; 64 =
+//                      independent vectors, lane-parallel; see sim/README.md)
 //   --no-check         skip the per-firing EE invariant check
 //   --dot FILE         write the PL netlist (post-EE) as Graphviz
 //   --vcd FILE         write a token waveform of the measured run
@@ -54,6 +57,7 @@ struct cli_options {
     unsigned threads = 0;  // 0 = hardware_concurrency
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
     sim::queue_kind queue = sim::sim_options{}.queue;
+    std::size_t lanes = 1;
     bool check_early_value = true;
     std::string dot_out;
     std::string vcd_out;
@@ -66,8 +70,8 @@ void usage() {
                  "usage: plee_flow (--bench bXX | --blif FILE) [--vectors N] "
                  "[--threshold X]\n                 [--method exact|cube] [--no-ee] "
                  "[--threads N] [--seed S]\n                 [--queue calendar|heap] "
-                 "[--no-check]\n                 [--dot FILE] [--vcd FILE] "
-                 "[--blif-out FILE] [--report]\n");
+                 "[--lanes 1|64] [--no-check]\n                 [--dot FILE] "
+                 "[--vcd FILE] [--blif-out FILE] [--report]\n");
 }
 
 std::optional<cli_options> parse(int argc, char** argv) {
@@ -113,6 +117,11 @@ std::optional<cli_options> parse(int argc, char** argv) {
             } catch (const std::invalid_argument&) {
                 return std::nullopt;
             }
+        } else if (arg == "--lanes") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            o.lanes = std::strtoull(v, nullptr, 10);
+            if (o.lanes != 1 && o.lanes != sim::k_lanes) return std::nullopt;
         } else if (arg == "--no-check") {
             o.check_early_value = false;
         } else if (arg == "--dot") {
@@ -215,7 +224,10 @@ int main(int argc, char** argv) {
         sim::measure_options mopts;
         mopts.num_vectors = o.vectors;
         mopts.seed = o.seed;
-        mopts.sim.collect_trace = !o.vcd_out.empty();
+        mopts.lanes = o.lanes;
+        // Lane tokens carry no single trace value; the VCD path below runs
+        // its own scalar tracer, so the measured run stays trace-free.
+        mopts.sim.collect_trace = !o.vcd_out.empty() && o.lanes == 1;
         mopts.sim.queue = o.queue;
         mopts.sim.check_early_value = o.check_early_value;
 
@@ -224,14 +236,23 @@ int main(int argc, char** argv) {
         std::printf("simulated %zu vectors: avg delay %.2f ns (min %.2f, max "
                     "%.2f, stddev %.2f), outputs match golden model\n",
                     o.vectors, r.avg_delay, r.min_delay, r.max_delay, r.stddev);
-        std::printf("simulator (%s queue): %llu events in %.1f ms = %.0f "
-                    "events/s\n",
-                    sim::to_string(o.queue),
+        std::printf("simulator (%s queue, %zu lanes): %llu events in %.1f ms "
+                    "= %.0f events/s, %.0f vectors/s\n",
+                    sim::to_string(o.queue), o.lanes,
                     static_cast<unsigned long long>(r.stats.events),
                     r.sim_wall_ms,
                     r.sim_wall_ms > 0.0
                         ? 1000.0 * static_cast<double>(r.stats.events) / r.sim_wall_ms
-                        : 0.0);
+                        : 0.0,
+                    r.vectors_per_s());
+        if (o.lanes > 1) {
+            std::printf("lane engine: %llu passes over %llu blocks "
+                        "(%llu splits), lockstep fraction %.3f\n",
+                        static_cast<unsigned long long>(r.stats.lane_runs),
+                        static_cast<unsigned long long>(r.stats.lane_blocks),
+                        static_cast<unsigned long long>(r.stats.lane_splits),
+                        r.lockstep_fraction);
+        }
         if (r.stats.ee_hits + r.stats.ee_misses > 0) {
             std::printf("EE firings: %llu hits / %llu misses (%llu strictly "
                         "early outputs)\n",
