@@ -152,14 +152,46 @@ int main(int argc, char** argv) {
                     "levels.\n",
                     fleets.size());
 
+        // Instrumentation overhead A/B: interleaved telemetry-on / telemetry-
+        // off rounds at the top thread level.  The off arm runs the identical
+        // pipeline with every span/recorder/histogram hook compiled in but
+        // unwired, so the wall-time delta isolates the cost of *live*
+        // instrumentation (budget: <= 2%, see src/obs/README.md).
+        // Interleaving the arms round-robin cancels thermal / frequency drift
+        // that a run-all-of-A-then-all-of-B shape would fold into the delta.
+        const unsigned ab_threads = levels.back();
+        constexpr int k_ab_rounds = 3;
+        double wall_on = 0.0;
+        double wall_off = 0.0;
+        for (int round = 0; round < k_ab_rounds; ++round) {
+            for (int arm = 0; arm < 2; ++arm) {
+                runner::fleet_options opts;
+                opts.num_threads = ab_threads;
+                opts.experiment.measure.num_vectors = vectors;
+                opts.telemetry = arm == 0;
+                const runner::fleet_result fleet = runner::run_fleet(jobs, opts);
+                (arm == 0 ? wall_on : wall_off) += fleet.wall_ms;
+            }
+        }
+        const double obs_overhead_pct =
+            wall_off > 0.0 ? 100.0 * (wall_on - wall_off) / wall_off : 0.0;
+        std::printf("instrumentation overhead (%d interleaved rounds, %u "
+                    "threads): %+.2f%% wall (telemetry on %.0f ms vs off "
+                    "%.0f ms)\n",
+                    k_ab_rounds, ab_threads, obs_overhead_pct,
+                    wall_on / k_ab_rounds, wall_off / k_ab_rounds);
+
         if (!json_path.empty()) {
             report::json root = report::json::object();
+            root.set("schema_version",
+                     report::json::number(runner::k_fleet_schema_version));
             root.set("bench", report::json::str("fleet_scaling"));
             root.set("circuits", report::json::number(circuits));
             root.set("gates", report::json::number(gates));
             root.set("scenario", report::json::str(scenario_name));
             root.set("seed", report::json::number(static_cast<std::int64_t>(seed)));
             root.set("vectors", report::json::number(vectors));
+            root.set("obs_overhead_pct", report::json::number(obs_overhead_pct));
             root.set("scaling", std::move(scaling));
             root.write_file(json_path);
         }

@@ -294,6 +294,8 @@ void write_json(const json_collector& collected, const std::string& path) {
     }
 
     report::json root = report::json::object();
+    root.set("schema_version",
+             report::json::number(report::k_bench_schema_version));
     root.set("bench", report::json::str("trigger"));
     root.set("benchmarks", std::move(benches));
     root.set("derived", std::move(derived));

@@ -33,7 +33,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,10 +44,13 @@
 
 #include "ee/ee_transform.hpp"
 #include "netlist/sync_sim.hpp"
+#include "obs/histogram.hpp"
+#include "obs/sink.hpp"
 #include "plogic/pl_mapper.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "sim/measure.hpp"
+#include "rt/wall_timer.hpp"
 #include "sim/pl_sim.hpp"
 #include "sim/stimulus.hpp"
 #include "workload/workload.hpp"
@@ -131,13 +134,11 @@ double timed_pass(const std::vector<const circuit*>& group,
             sim::sim_options opts;
             opts.queue = queue;
             sim::pl_simulator simulator(c.pl, opts);
-            const auto start = std::chrono::steady_clock::now();
+            const wall_timer timer;
             simulator.run(c.vectors);
-            const auto end = std::chrono::steady_clock::now();
             events.fetch_add(simulator.stats().events);
             wall_ns.fetch_add(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-                    .count());
+                static_cast<std::int64_t>(std::llround(timer.elapsed_ms() * 1e6)));
         }
     };
     std::vector<std::thread> pool;
@@ -231,11 +232,6 @@ lane_check check_lanes_vs_serial(const circuit& c) {
     return out;
 }
 
-double ms_between(std::chrono::steady_clock::time_point a,
-                  std::chrono::steady_clock::time_point b) {
-    return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
 /// One timed pass of the lanes=1 golden loop (set/eval/read/latch per
 /// vector, the measure_serial hot loop) over a circuit's stimulus.
 double sync_scalar_pass(const circuit& c,
@@ -243,14 +239,14 @@ double sync_scalar_pass(const circuit& c,
                         std::size_t* sink) {
     nl::sync_simulator gold(c.sync);
     const std::vector<bool> expected(c.sync.outputs().size(), false);
-    const auto start = std::chrono::steady_clock::now();
+    const wall_timer timer;
     for (const std::vector<bool>& v : vecs) {
         gold.set_inputs(v);
         gold.eval();
         *sink += gold.outputs_equal(expected) ? 1u : 0u;
         gold.latch();
     }
-    return ms_between(start, std::chrono::steady_clock::now());
+    return timer.elapsed_ms();
 }
 
 /// One timed pass of the lanes=64 golden loop (reset/set/eval/read per
@@ -260,7 +256,7 @@ double sync_lane_pass(const circuit& c,
                       std::uint64_t* sink) {
     nl::sync_lane_simulator gold(c.sync);
     std::vector<std::uint64_t> out(c.sync.outputs().size());
-    const auto start = std::chrono::steady_clock::now();
+    const wall_timer timer;
     for (const sim::stimulus_block& b : blocks) {
         gold.reset();
         gold.set_inputs(b.words.data(), b.width);
@@ -268,7 +264,7 @@ double sync_lane_pass(const circuit& c,
         gold.output_values(out.data());
         for (const std::uint64_t w : out) *sink ^= w;
     }
-    return ms_between(start, std::chrono::steady_clock::now());
+    return timer.elapsed_ms();
 }
 
 /// One timed pass of the PL event engine, one single-vector run per vector
@@ -276,20 +272,20 @@ double sync_lane_pass(const circuit& c,
 double pl_serial_pass(const circuit& c) {
     sim::pl_simulator simulator(c.pl, sim::sim_options{});
     std::vector<std::vector<bool>> one(1);
-    const auto start = std::chrono::steady_clock::now();
+    const wall_timer timer;
     for (const std::vector<bool>& v : c.vectors) {
         one[0] = v;
         simulator.run(one);
     }
-    return ms_between(start, std::chrono::steady_clock::now());
+    return timer.elapsed_ms();
 }
 
 /// One timed pass of the PL lane engine, run_lanes per block.
 double pl_lane_pass(const circuit& c) {
     sim::pl_simulator simulator(c.pl, sim::sim_options{});
-    const auto start = std::chrono::steady_clock::now();
+    const wall_timer timer;
     for (const sim::stimulus_block& b : c.blocks) simulator.run_lanes(b);
-    return ms_between(start, std::chrono::steady_clock::now());
+    return timer.elapsed_ms();
 }
 
 }  // namespace
@@ -524,8 +520,43 @@ int main(int argc, char** argv) {
             rows.push(std::move(j));
         }
 
+        // --- Completion-time distributions: plain PL vs EE ----------------
+        // The paper's comparison is distributional — EE shifts the shape of
+        // the per-vector completion-time distribution, not just its mean.
+        // Measure the same mix both ways (fresh plain mapping vs the
+        // EE-applied netlists above, identical stimulus seeds) and merge the
+        // per-vector histograms fleet-wide.  Recorded in integer ps, printed
+        // and emitted in ns.
+        obs::hist_snapshot delay_plain;
+        obs::hist_snapshot delay_ee;
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            sim::measure_options mopts;
+            mopts.num_vectors = vectors;
+            mopts.seed = seed ^ (i * 0x9e3779b97f4a7c15ull);
+            pl::map_result plain = pl::map_to_phased_logic(mix[i].sync);
+            const sim::measure_result base =
+                sim::measure_average_delay(plain.pl, &mix[i].sync, mopts);
+            const sim::measure_result with_ee =
+                sim::measure_average_delay(mix[i].pl, &mix[i].sync, mopts);
+            delay_plain.merge(base.delay_hist);
+            delay_ee.merge(with_ee.delay_hist);
+        }
+        const auto pctl = [](const obs::hist_snapshot& h, double p) {
+            return static_cast<double>(h.value_at_percentile(p)) / 1e3;
+        };
+        std::printf("completion time p50/p90/p99/max (ns): plain "
+                    "%.1f/%.1f/%.1f/%.1f -> ee %.1f/%.1f/%.1f/%.1f\n",
+                    pctl(delay_plain, 50.0), pctl(delay_plain, 90.0),
+                    pctl(delay_plain, 99.0),
+                    static_cast<double>(delay_plain.max) / 1e3,
+                    pctl(delay_ee, 50.0), pctl(delay_ee, 90.0),
+                    pctl(delay_ee, 99.0),
+                    static_cast<double>(delay_ee.max) / 1e3);
+
         if (!json_path.empty()) {
             report::json doc = report::json::object();
+            doc.set("schema_version",
+                    report::json::number(report::k_bench_schema_version));
             doc.set("benchmark", report::json::str("bench_sim_queue"));
             doc.set("circuits", report::json::number(circuits));
             doc.set("gates", report::json::number(gates));
@@ -539,6 +570,12 @@ int main(int argc, char** argv) {
             doc.set("sync_lane_speedup", report::json::number(sync_speedup));
             doc.set("lockstep_fraction",
                     report::json::number(lanes.lockstep_fraction()));
+            // Full bucket dumps so cross-PR tooling can diff the whole
+            // distributions, not just the summary quantiles.
+            doc.set("delay_hist_no_ee_ns",
+                    obs::hist_to_json(delay_plain, 1e3, /*with_buckets=*/true));
+            doc.set("delay_hist_ee_ns",
+                    obs::hist_to_json(delay_ee, 1e3, /*with_buckets=*/true));
             doc.write_file(json_path);
             std::printf("wrote %s\n", json_path.c_str());
         }

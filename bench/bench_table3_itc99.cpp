@@ -157,6 +157,8 @@ int main(int argc, char** argv) {
 
     if (!json_path.empty()) {
         report::json root = report::json::object();
+        root.set("schema_version",
+                 report::json::number(report::k_bench_schema_version));
         root.set("bench", report::json::str("itc99"));
         root.set("vectors", report::json::number(vectors));
         root.set("seed", report::json::number(static_cast<std::int64_t>(seed)));

@@ -1,9 +1,31 @@
 #include "ee/concurrent_cache.hpp"
 
+#include <mutex>
+
 #include "ee/trigger_search.hpp"
 #include "fault/injector.hpp"
+#include "obs/registry.hpp"
 
 namespace plee::ee {
+
+namespace {
+
+/// Shard-lock acquisition that counts the times it actually had to wait —
+/// the registry's view of how contended the fleet-shared memo is.  A failed
+/// try_lock is one extra atomic op on a path that then blocks anyway.
+template <typename Mutex>
+std::unique_lock<Mutex> lock_counting_contention(Mutex& mu) {
+    std::unique_lock<Mutex> lock(mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        static obs::counter& contention =
+            obs::registry::global().get_counter("ee.cache.shard_contention");
+        contention.add();
+        lock.lock();
+    }
+    return lock;
+}
+
+}  // namespace
 
 bf::truth_table concurrent_trigger_cache::exact(const bf::truth_table& master,
                                                 std::uint32_t support) {
@@ -22,7 +44,7 @@ bf::truth_table concurrent_trigger_cache::exact(const bf::truth_table& master,
     {
         const fn_key fk{master.words(), n};
         fn_shard& shard = fn_shards_[fn_hash{}(fk) % k_num_shards];
-        const std::lock_guard<std::mutex> lock(shard.mu);
+        const auto lock = lock_counting_contention(shard.mu);
         auto it = shard.map.find(fk);
         if (it == shard.map.end()) {
             // Same wide-master policy as trigger_cache::exact: > 6 variables
@@ -48,12 +70,18 @@ bf::truth_table concurrent_trigger_cache::exact(const bf::truth_table& master,
     {
         const trig_key tk{cf.bits, canon_support, n};
         trig_shard& shard = trig_shards_[trig_hash{}(tk) % k_num_shards];
-        const std::lock_guard<std::mutex> lock(shard.mu);
+        const auto lock = lock_counting_contention(shard.mu);
+        static obs::counter& reg_hits =
+            obs::registry::global().get_counter("ee.cache.hits");
+        static obs::counter& reg_misses =
+            obs::registry::global().get_counter("ee.cache.misses");
         auto it = shard.map.find(tk);
         if (it != shard.map.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            reg_hits.add();
         } else {
             misses_.fetch_add(1, std::memory_order_relaxed);
+            reg_misses.add();
             it = shard.map
                      .emplace(tk, exact_trigger_function(bf::truth_table(n, cf.bits),
                                                          canon_support))

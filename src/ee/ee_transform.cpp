@@ -8,6 +8,7 @@
 
 #include "ee/trigger_cache.hpp"
 #include "fault/injector.hpp"
+#include "obs/registry.hpp"
 #include "rt/errors.hpp"
 
 namespace plee::ee {
@@ -38,6 +39,9 @@ void search_worker(const pl::pl_netlist& pl, const std::vector<search_job>& jobs
             throw job_timeout("ee.search", options.context, begin);
         }
         fault::injector::instance().check("ee.search", begin);
+        if (options.recorder != nullptr) {
+            options.recorder->record("ee.chunk", begin, jobs.size());
+        }
         const std::size_t end = std::min(begin + k_chunk, jobs.size());
         for (std::size_t i = begin; i < end; ++i) {
             best[i] = find_best_trigger(pl.gate(jobs[i].master).function,
@@ -148,6 +152,14 @@ ee_stats apply_early_evaluation(pl::pl_netlist& pl, const ee_options& options) {
                                    report.violation);
         }
     }
+
+    // Process-wide pass accounting; one flush per transform, not per gate.
+    static obs::counter& masters =
+        obs::registry::global().get_counter("ee.masters_considered");
+    static obs::counter& triggers =
+        obs::registry::global().get_counter("ee.triggers_added");
+    masters.add(stats.masters_considered);
+    triggers.add(stats.triggers_added);
     return stats;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ee/trigger_search.hpp"
+#include "obs/flight_recorder.hpp"
 #include "plogic/pl_netlist.hpp"
 #include "rt/cancel.hpp"
 
@@ -49,6 +50,12 @@ struct ee_options {
     /// Job context for cancellation messages and fault-injection scoping
     /// ("b05#2" = job id, attempt 2).  Empty is fine for standalone passes.
     std::string context;
+    /// Flight recorder: every worker records an "ee.chunk" event per
+    /// work-queue chunk it claims (the same cadence as the cancel poll), so
+    /// a post-mortem shows how deep the trigger search got.  The recorder is
+    /// internally synchronized, so one per-job instance serves all worker
+    /// threads.  Not owned; null = off.
+    obs::flight_recorder* recorder = nullptr;
 };
 
 /// One applied master/trigger pair, for reporting.

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "bool/splitmix64.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
 
 namespace plee::fault {
 
@@ -145,6 +147,14 @@ void injector::check_slow(const char* point, std::uint64_t site) {
     const double draw =
         static_cast<double>(u >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
     if (draw >= config.probability) return;
+    // The fault fires: leave a trail before disturbing anything, so the
+    // job's failure report shows the injection that triggered the cascade.
+    static obs::counter& injected =
+        obs::registry::global().get_counter("fault.injected");
+    injected.add();
+    if (obs::flight_recorder* recorder = obs::current_recorder()) {
+        recorder->record_note("fault.injected", point, site);
+    }
     if (config.delay_ms > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(config.delay_ms));

@@ -1,0 +1,140 @@
+#include "obs/sink.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace plee::obs {
+namespace {
+
+report::json u64(std::uint64_t v) {
+    return report::json::number(static_cast<std::int64_t>(v));
+}
+
+report::json scaled(std::uint64_t v, double scale) {
+    return report::json::number(static_cast<double>(v) / scale);
+}
+
+/// plee_<name> with every character outside the Prometheus metric-name
+/// alphabet folded to '_' (the registry's dots included).
+std::string prom_name(const std::string& name) {
+    std::string out = "plee_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                        c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void prom_sample(std::string& out, const std::string& name,
+                 const char* labels, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+    out += name;
+    out += labels;
+    out += ' ';
+    out += buf;
+    out += '\n';
+}
+
+}  // namespace
+
+report::json hist_to_json(const hist_snapshot& h, double scale,
+                          bool with_buckets) {
+    report::json j = report::json::object();
+    j.set("count", u64(h.count));
+    if (h.count == 0) return j;
+    j.set("mean", report::json::number(h.mean() / scale));
+    j.set("min", scaled(h.min, scale));
+    j.set("p50", scaled(h.value_at_percentile(50), scale));
+    j.set("p90", scaled(h.value_at_percentile(90), scale));
+    j.set("p99", scaled(h.value_at_percentile(99), scale));
+    j.set("max", scaled(h.max, scale));
+    if (with_buckets) {
+        j.set("sum", u64(h.sum));
+        report::json buckets = report::json::array();
+        for (const auto& [idx, n] : h.buckets) {
+            report::json b = report::json::array();
+            b.push(u64(idx)).push(u64(n));
+            buckets.push(std::move(b));
+        }
+        j.set("buckets", std::move(buckets));
+    }
+    return j;
+}
+
+report::json spans_to_json(const std::vector<span_record>& spans) {
+    report::json arr = report::json::array();
+    for (const span_record& s : spans) {
+        report::json j = report::json::object();
+        j.set("name", report::json::str(s.name));
+        j.set("start_ms", report::json::number(s.start_ms));
+        j.set("dur_ms", report::json::number(s.dur_ms));
+        j.set("parent", report::json::number(s.parent));
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+report::json flight_to_json(const std::vector<fr_event>& events) {
+    report::json arr = report::json::array();
+    for (const fr_event& e : events) {
+        report::json j = report::json::object();
+        j.set("t_ms", report::json::number(e.t_ms));
+        j.set("tag", report::json::str(e.tag));
+        j.set("a", u64(e.a));
+        j.set("b", u64(e.b));
+        if (!e.note.empty()) j.set("note", report::json::str(e.note));
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+report::json metrics_to_json(const metrics_snapshot& snap) {
+    report::json j = report::json::object();
+    report::json counters = report::json::object();
+    for (const auto& [name, v] : snap.counters) counters.set(name, u64(v));
+    j.set("counters", std::move(counters));
+    report::json gauges = report::json::object();
+    for (const auto& [name, v] : snap.gauges) {
+        gauges.set(name, report::json::number(static_cast<std::int64_t>(v)));
+    }
+    j.set("gauges", std::move(gauges));
+    report::json hists = report::json::object();
+    for (const auto& [name, h] : snap.histograms) {
+        hists.set(name, hist_to_json(h, 1.0, /*with_buckets=*/true));
+    }
+    j.set("histograms", std::move(hists));
+    return j;
+}
+
+std::string to_prometheus(const metrics_snapshot& snap) {
+    std::string out;
+    for (const auto& [name, v] : snap.counters) {
+        const std::string pn = prom_name(name) + "_total";
+        out += "# TYPE " + pn + " counter\n";
+        prom_sample(out, pn, "", v);
+    }
+    for (const auto& [name, v] : snap.gauges) {
+        const std::string pn = prom_name(name);
+        out += "# TYPE " + pn + " gauge\n";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        out += pn + " " + buf + "\n";
+    }
+    for (const auto& [name, h] : snap.histograms) {
+        const std::string pn = prom_name(name);
+        out += "# TYPE " + pn + " summary\n";
+        prom_sample(out, pn, "{quantile=\"0.5\"}", h.value_at_percentile(50));
+        prom_sample(out, pn, "{quantile=\"0.9\"}", h.value_at_percentile(90));
+        prom_sample(out, pn, "{quantile=\"0.99\"}", h.value_at_percentile(99));
+        prom_sample(out, pn, "{quantile=\"1\"}", h.max);
+        prom_sample(out, pn + "_sum", "", h.sum);
+        prom_sample(out, pn + "_count", "", h.count);
+    }
+    return out;
+}
+
+}  // namespace plee::obs

@@ -1,0 +1,55 @@
+// sink.hpp — serialization of telemetry into the two wire formats.
+//
+// Everything obs collects (registry snapshots, per-job traces, flight
+// recordings, histograms) leaves the process through exactly two shapes:
+//
+//  * JSON values (report::json) — embedded in fleet_result::to_json /
+//    BENCH_*.json, or streamed one-record-per-line via json::dump_compact()
+//    to the --trace-out JSONL file.  Schemas in docs/schemas.md.
+//  * Prometheus text exposition (version 0.0.4) — the --metrics-out format:
+//    counters as `plee_<name>_total`, gauges as `plee_<name>`, histograms as
+//    summaries (quantile-labelled samples plus _sum/_count).  Metric names
+//    are sanitized from the registry's dotted convention (dots → underscores,
+//    anything outside [a-zA-Z0-9_:] → '_') and the whole exposition is
+//    emitted in the registry's deterministic name order, so CI can lint it
+//    line by line.
+//
+// Histograms serialize as {count, mean, min, p50, p90, p99, max[, buckets]}
+// — the summary form is what humans and dashboards read; the optional raw
+// bucket array is what exact re-merging needs (bench artifacts carry it,
+// per-job rows don't).  A `scale` divisor converts the recorded integer unit
+// to the reported one (e.g. ps → ns with scale = 1000).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "report/json.hpp"
+
+namespace plee::obs {
+
+/// {count, mean, min, p50, p90, p99, max} with every value divided by
+/// `scale`; with_buckets appends the raw sparse bucket array (exact,
+/// unscaled) for downstream re-merging.  Empty histogram → {"count": 0}.
+report::json hist_to_json(const hist_snapshot& h, double scale = 1.0,
+                          bool with_buckets = false);
+
+/// Array of {name, start_ms, dur_ms, parent} in open order.
+report::json spans_to_json(const std::vector<span_record>& spans);
+
+/// Array of {t_ms, tag, a, b[, note]}, oldest first.
+report::json flight_to_json(const std::vector<fr_event>& events);
+
+/// {counters: {...}, gauges: {...}, histograms: {...}} — one JSONL-able
+/// record of a whole registry snapshot.
+report::json metrics_to_json(const metrics_snapshot& snap);
+
+/// Prometheus text exposition of a registry snapshot (see header comment).
+std::string to_prometheus(const metrics_snapshot& snap);
+
+}  // namespace plee::obs

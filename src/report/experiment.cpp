@@ -1,6 +1,9 @@
 #include "report/experiment.hpp"
 
+#include <utility>
+
 #include "fault/injector.hpp"
+#include "obs/sink.hpp"
 #include "report/json.hpp"
 #include "rt/errors.hpp"
 
@@ -17,40 +20,66 @@ experiment_row run_ee_experiment(const std::string& description,
     const std::string context =
         options.fault_context.empty() ? description : options.fault_context;
     fault::injector::scope fault_scope(fault::injector::hash(context));
+    // Ambient recorder for this thread: stages that cannot take a recorder
+    // parameter (the fault injector) still find the job's ring.
+    obs::recorder_scope ambient_recorder(options.recorder);
     sim::measure_options measure = options.measure;
     measure.sim.label = context;
     measure.sim.cancel = options.cancel;
+    measure.sim.recorder = options.recorder;
+    measure.trace = options.trace;
+    measure.telemetry = options.telemetry;
     ee::ee_options ee_opts = options.ee;
     ee_opts.cancel = options.cancel;
     ee_opts.context = context;
+    ee_opts.recorder = options.recorder;
     const auto stage_gate = [&](const char* stage, std::uint64_t site) {
         if (options.cancel != nullptr && options.cancel->expired()) {
             throw job_timeout(stage, context, site);
         }
     };
 
-    // Baseline: plain Phased Logic.
+    // Baseline: plain Phased Logic.  Each stage opens its own top-level span
+    // (sim.run / sim.golden nest inside the measure spans), so the trace
+    // reads as the stage sequence of the header comment.
     stage_gate("pipeline.map", 0);
-    fault::injector::instance().check("synth.map", 0);
-    pl::map_result mapped = pl::map_to_phased_logic(netlist, options.map);
+    pl::map_result mapped = [&] {
+        const obs::scoped_span span(options.trace, "map_to_pl.plain");
+        fault::injector::instance().check("synth.map", 0);
+        return pl::map_to_phased_logic(netlist, options.map);
+    }();
     row.pl_gates = mapped.pl.num_pl_gates();
-    const sim::measure_result base =
-        sim::measure_average_delay(mapped.pl, &netlist, measure);
+    sim::measure_result base;
+    {
+        const obs::scoped_span span(options.trace, "measure.plain");
+        base = sim::measure_average_delay(mapped.pl, &netlist, measure);
+    }
     row.delay_no_ee = base.avg_delay;
     row.stats_no_ee = base.stats;
     row.sim_wall_ms += base.sim_wall_ms;
+    row.delay_hist_no_ee = std::move(base.delay_hist);
 
     // Early Evaluation applied to the same mapping.
     stage_gate("pipeline.map", 1);
-    fault::injector::instance().check("synth.map", 1);
-    pl::map_result mapped_ee = pl::map_to_phased_logic(netlist, options.map);
-    row.ee_detail = ee::apply_early_evaluation(mapped_ee.pl, ee_opts);
+    pl::map_result mapped_ee = [&] {
+        const obs::scoped_span span(options.trace, "map_to_pl.ee");
+        fault::injector::instance().check("synth.map", 1);
+        return pl::map_to_phased_logic(netlist, options.map);
+    }();
+    {
+        const obs::scoped_span span(options.trace, "ee.search");
+        row.ee_detail = ee::apply_early_evaluation(mapped_ee.pl, ee_opts);
+    }
     row.ee_gates = mapped_ee.pl.num_trigger_gates();
-    const sim::measure_result with_ee =
-        sim::measure_average_delay(mapped_ee.pl, &netlist, measure);
+    sim::measure_result with_ee;
+    {
+        const obs::scoped_span span(options.trace, "measure.ee");
+        with_ee = sim::measure_average_delay(mapped_ee.pl, &netlist, measure);
+    }
     row.delay_ee = with_ee.avg_delay;
     row.stats_ee = with_ee.stats;
     row.sim_wall_ms += with_ee.sim_wall_ms;
+    row.delay_hist_ee = std::move(with_ee.delay_hist);
 
     row.lanes = measure.lanes;
     row.vectors_measured = base.delays.size() + with_ee.delays.size();
@@ -102,6 +131,16 @@ json to_json(const experiment_row& row, bool include_cache_counters) {
                                         row.ee_detail.cache_hits)));
         j.set("trigger_cache_misses", json::number(static_cast<std::int64_t>(
                                           row.ee_detail.cache_misses)));
+    }
+    // Present only when the run collected them (telemetry on): the paper's
+    // claim is distributional, so the row carries the distributions, in ns
+    // (recorded ps / 1000).
+    if (!row.delay_hist_no_ee.empty()) {
+        j.set("delay_hist_no_ee_ns",
+              obs::hist_to_json(row.delay_hist_no_ee, 1e3));
+    }
+    if (!row.delay_hist_ee.empty()) {
+        j.set("delay_hist_ee_ns", obs::hist_to_json(row.delay_hist_ee, 1e3));
     }
     return j;
 }

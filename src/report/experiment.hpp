@@ -14,6 +14,9 @@
 
 #include "ee/ee_transform.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "plogic/pl_mapper.hpp"
 #include "rt/cancel.hpp"
 #include "sim/measure.hpp"
@@ -32,6 +35,19 @@ struct experiment_options {
     /// scope; the fleet runner sets "jobid#attempt", standalone runs default
     /// to the row description.
     std::string fault_context;
+    /// Per-job trace: the pipeline opens one span per stage (map_to_pl.plain
+    /// → measure.plain → map_to_pl.ee → ee.search → measure.ee, with
+    /// sim.run / sim.golden children inside each measure).  Spans close on
+    /// exception unwind, so a failed run still carries a partial breakdown.
+    /// Not owned; null = untraced.
+    obs::trace* trace = nullptr;
+    /// Per-job flight recorder, threaded into both simulator engines and the
+    /// EE search (progress beats at the cancel-check cadence).  Not owned;
+    /// null = off.
+    obs::flight_recorder* recorder = nullptr;
+    /// false skips observable-only work (per-vector delay histograms, the
+    /// registry flush) — the "compiled-in-but-idle" arm of the overhead A/B.
+    bool telemetry = true;
 };
 
 struct experiment_row {
@@ -57,6 +73,10 @@ struct experiment_row {
     /// Lane mode: run-merging fraction across both measurements (see
     /// measure_result::lockstep_fraction); 1.0 when lanes == 1.
     double lockstep_fraction = 1.0;
+    /// Per-vector completion-time distributions (integer picoseconds; see
+    /// measure_result::delay_hist).  Empty when telemetry was off.
+    obs::hist_snapshot delay_hist_no_ee;
+    obs::hist_snapshot delay_hist_ee;
 
     /// Measurement throughput (0 when the run was too fast to time).
     double vectors_per_s() const {

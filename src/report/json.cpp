@@ -156,10 +156,44 @@ void json::dump_to(std::string& out, int indent) const {
     }
 }
 
+void json::dump_compact_to(std::string& out) const {
+    switch (kind_) {
+        case kind::object: {
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                if (i != 0) out += ',';
+                escape_to(out, members_[i].first);
+                out += ':';
+                members_[i].second.dump_compact_to(out);
+            }
+            out += '}';
+            break;
+        }
+        case kind::array: {
+            out += '[';
+            for (std::size_t i = 0; i < elements_.size(); ++i) {
+                if (i != 0) out += ',';
+                elements_[i].dump_compact_to(out);
+            }
+            out += ']';
+            break;
+        }
+        default:
+            // Scalars print identically in both modes.
+            dump_to(out, 0);
+    }
+}
+
 std::string json::dump() const {
     std::string out;
     dump_to(out, 0);
     out += '\n';
+    return out;
+}
+
+std::string json::dump_compact() const {
+    std::string out;
+    dump_compact_to(out);
     return out;
 }
 

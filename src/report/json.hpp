@@ -18,6 +18,12 @@
 
 namespace plee::report {
 
+/// Version stamp the BENCH_*.json writers emit as "schema_version" (the
+/// fleet artifact carries runner::k_fleet_schema_version instead).
+/// Artifacts without the field predate versioning — read them as version 0.
+/// Bump on any breaking shape change; see docs/schemas.md.
+inline constexpr int k_bench_schema_version = 1;
+
 class json {
 public:
     /// Defaults to null.
@@ -43,6 +49,10 @@ public:
     /// level — the shape git diffs handle best.
     std::string dump() const;
 
+    /// Serializes on one line with no whitespace and no trailing newline —
+    /// the shape JSONL telemetry streams need (one record per line).
+    std::string dump_compact() const;
+
     /// Writes dump() to `path`, throwing std::runtime_error on I/O failure.
     void write_file(const std::string& path) const;
 
@@ -50,6 +60,7 @@ private:
     enum class kind : std::uint8_t { null, object, array, string, real, integer, boolean };
 
     void dump_to(std::string& out, int indent) const;
+    void dump_compact_to(std::string& out) const;
 
     kind kind_ = kind::null;
     std::string string_;

@@ -1,0 +1,48 @@
+// wall_timer.hpp — the one wall-clock helper for every timing path.
+//
+// Every wall-time figure this repository reports (job wall_ms, sim_wall_ms,
+// obs span durations, flight-recorder timestamps, bench A/B passes) must come
+// from std::chrono::steady_clock: it is monotonic, so an NTP step or a
+// suspend/resume cannot produce negative or wildly inflated durations in the
+// middle of a fleet.  system_clock is for calendar timestamps only and
+// high_resolution_clock is an unspecified alias (on libstdc++ it *is*
+// steady_clock, on other standard libraries it may not be) — neither belongs
+// in a timing path.  Centralizing the boilerplate here keeps that audit a
+// one-line grep: outside this header, timing code holds a wall_timer, not a
+// clock.
+//
+// The timer is a trivially copyable value type; elapsed_ms() costs one
+// clock_gettime(CLOCK_MONOTONIC) call (~20 ns), the same as the raw
+// steady_clock::now() it wraps.
+
+#pragma once
+
+#include <chrono>
+
+namespace plee {
+
+class wall_timer {
+public:
+    using clock = std::chrono::steady_clock;
+
+    /// Starts timing at construction.
+    wall_timer() : start_(clock::now()) {}
+
+    /// Re-arms the epoch to now.
+    void restart() { start_ = clock::now(); }
+
+    /// Milliseconds since construction / the last restart().
+    double elapsed_ms() const { return ms_between(start_, clock::now()); }
+
+    /// The epoch this timer measures from.
+    clock::time_point start() const { return start_; }
+
+    static double ms_between(clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+    }
+
+private:
+    clock::time_point start_;
+};
+
+}  // namespace plee

@@ -3,22 +3,21 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <thread>
 
 #include "bool/splitmix64.hpp"
+#include "obs/registry.hpp"
+#include "obs/sink.hpp"
 #include "report/json.hpp"
 #include "rt/errors.hpp"
+#include "rt/wall_timer.hpp"
 #include "sim/errors.hpp"
 
 namespace plee::runner {
 
 namespace {
-
-double ms_between(std::chrono::steady_clock::time_point a,
-                  std::chrono::steady_clock::time_point b) {
-    return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 std::uint64_t fnv1a(const std::string& s) {
     std::uint64_t h = 0xcbf29ce484222325ull;
@@ -37,8 +36,13 @@ void run_job(const fleet_job& job, const report::experiment_options& experiment,
              const fleet_options& options, job_result& out,
              std::exception_ptr& error) {
     const unsigned max_attempts = options.max_retries + 1;
-    const auto start = std::chrono::steady_clock::now();
+    const wall_timer timer;
     out.id = job.id;
+    // Telemetry state for the whole job: the trace restarts per attempt (the
+    // report carries the final attempt's breakdown), the recorder persists
+    // across attempts so a post-mortem shows the retry history too.
+    obs::trace trace;
+    obs::flight_recorder recorder;
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
         out.attempts = attempt;
         cancel_token token;
@@ -50,6 +54,13 @@ void run_job(const fleet_job& job, const report::experiment_options& experiment,
         opts.fault_context = job.id + "#" + std::to_string(attempt);
         if (job.max_events != 0) opts.measure.sim.max_events = job.max_events;
         if (job.lanes != 0) opts.measure.lanes = job.lanes;
+        opts.telemetry = options.telemetry;
+        if (options.telemetry) {
+            trace.clear();
+            opts.trace = &trace;
+            opts.recorder = &recorder;
+            recorder.record("job.attempt", attempt, max_attempts);
+        }
         try {
             out.row =
                 report::run_ee_experiment(job.description, job.netlist, opts);
@@ -63,20 +74,33 @@ void run_job(const fleet_job& job, const report::experiment_options& experiment,
             out.status = job_status::timed_out;
             out.error = e.what();
             error = std::current_exception();
+            if (options.telemetry) {
+                recorder.record_note("job.timeout", out.error, attempt);
+            }
             break;
         } catch (const sim::budget_exhausted& e) {
             out.status = job_status::budget_exhausted;
             out.error = e.what();
             error = std::current_exception();
+            if (options.telemetry) {
+                recorder.record_note("job.budget_exhausted", out.error, attempt);
+            }
             break;
         } catch (const std::exception& e) {
             out.status = job_status::failed;
             out.error = e.what();
             error = std::current_exception();
+            if (options.telemetry) {
+                recorder.record_note("job.error", out.error, attempt);
+            }
             if (classify_exception(error) == failure_class::transient &&
                 attempt < max_attempts) {
                 const double backoff_ms = retry_backoff_ms(
                     job.id, attempt, options.retry_backoff_base_ms);
+                if (options.telemetry) {
+                    recorder.record("job.retry", attempt + 1,
+                                    static_cast<std::uint64_t>(backoff_ms));
+                }
                 std::this_thread::sleep_for(
                     std::chrono::duration<double, std::milli>(backoff_ms));
                 continue;
@@ -84,7 +108,12 @@ void run_job(const fleet_job& job, const report::experiment_options& experiment,
             break;
         }
     }
-    out.wall_ms = ms_between(start, std::chrono::steady_clock::now());
+    out.wall_ms = timer.elapsed_ms();
+    // scoped_span closes during unwind, so the trace is well-formed even
+    // when the final attempt threw — a failed job still reports how far it
+    // got and where the time went.
+    out.spans = trace.spans();
+    if (!job_succeeded(out.status)) out.flight = recorder.dump();
 }
 
 /// Pulls job indices from the shared counter and runs each to its terminal
@@ -148,7 +177,7 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
 
     std::vector<std::exception_ptr> errors(jobs.size());
     std::atomic<std::size_t> next{0};
-    const auto start = std::chrono::steady_clock::now();
+    const wall_timer timer;
     if (threads <= 1) {
         fleet_worker(jobs, experiment, options, next, fleet.results, errors);
     } else {
@@ -163,7 +192,7 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         fleet_worker(jobs, experiment, options, next, fleet.results, errors);
         for (std::thread& t : pool) t.join();
     }
-    fleet.wall_ms = ms_between(start, std::chrono::steady_clock::now());
+    fleet.wall_ms = timer.elapsed_ms();
 
     if (options.fail_fast) {
         for (const std::exception_ptr& e : errors) {
@@ -185,7 +214,15 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         // Aggregates take succeeded rows only: a failed job's row is
         // default-initialized (possibly half a pipeline) and must not skew
         // fleet gate/event/delay figures.
+        if (options.telemetry) {
+            fleet.job_wall_hist_us.record(
+                r.wall_ms <= 0.0 ? 0
+                                 : static_cast<std::uint64_t>(
+                                       std::llround(r.wall_ms * 1e3)));
+        }
         if (!job_succeeded(r.status)) continue;
+        fleet.delay_hist_no_ee.merge(r.row.delay_hist_no_ee);
+        fleet.delay_hist_ee.merge(r.row.delay_hist_ee);
         fleet.total_pl_gates += r.row.pl_gates;
         fleet.total_ee_gates += r.row.ee_gates;
         fleet.total_triggers += r.row.ee_detail.triggers_added;
@@ -221,11 +258,24 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         fleet.cache_misses = shared_cache.misses();
         fleet.cache_entries = shared_cache.size();
     }
+    if (options.telemetry) {
+        // One registry flush per fleet — the census the sinks export.
+        obs::registry& reg = obs::registry::global();
+        reg.get_counter("fleet.jobs_ok").add(fleet.jobs_ok);
+        reg.get_counter("fleet.jobs_failed").add(fleet.jobs_failed);
+        reg.get_counter("fleet.jobs_timed_out").add(fleet.jobs_timed_out);
+        reg.get_counter("fleet.jobs_budget_exhausted")
+            .add(fleet.jobs_budget_exhausted);
+        reg.get_counter("fleet.jobs_retried").add(fleet.jobs_retried);
+        reg.get_gauge("fleet.threads").set(static_cast<std::int64_t>(threads));
+        reg.get_histogram("fleet.job_wall_us").merge(fleet.job_wall_hist_us);
+    }
     return fleet;
 }
 
 report::json to_json(const fleet_result& fleet, bool include_rows) {
     report::json j = report::json::object();
+    j.set("schema_version", report::json::number(k_fleet_schema_version));
     j.set("threads", report::json::number(static_cast<std::int64_t>(fleet.threads)));
     j.set("shared_cache", report::json::boolean(fleet.shared_cache));
     j.set("netlists", report::json::number(fleet.results.size()));
@@ -254,6 +304,16 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
           report::json::number(static_cast<std::int64_t>(fleet.cache_misses)));
     j.set("cache_entries", report::json::number(fleet.cache_entries));
     j.set("cache_hit_rate", report::json::number(fleet.cache_hit_rate()));
+    if (!fleet.delay_hist_no_ee.empty()) {
+        j.set("delay_hist_no_ee_ns",
+              obs::hist_to_json(fleet.delay_hist_no_ee, 1e3));
+    }
+    if (!fleet.delay_hist_ee.empty()) {
+        j.set("delay_hist_ee_ns", obs::hist_to_json(fleet.delay_hist_ee, 1e3));
+    }
+    if (!fleet.job_wall_hist_us.empty()) {
+        j.set("job_wall_ms_hist", obs::hist_to_json(fleet.job_wall_hist_us, 1e3));
+    }
     if (include_rows) {
         report::json rows = report::json::array();
         for (const job_result& r : fleet.results) {
@@ -266,6 +326,12 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
                     report::json::number(static_cast<std::int64_t>(r.attempts)));
             if (!r.error.empty()) row.set("error", report::json::str(r.error));
             row.set("wall_ms", report::json::number(r.wall_ms));
+            if (!r.spans.empty()) {
+                row.set("spans", obs::spans_to_json(r.spans));
+            }
+            if (!r.flight.empty()) {
+                row.set("flight_recorder", obs::flight_to_json(r.flight));
+            }
             rows.push(std::move(row));
         }
         j.set("rows", std::move(rows));

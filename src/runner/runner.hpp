@@ -34,9 +34,18 @@
 
 #include "ee/concurrent_cache.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "report/experiment.hpp"
 
 namespace plee::runner {
+
+/// Version stamp emitted as "schema_version" by fleet_result::to_json (and
+/// hence BENCH_fleet.json).  Artifacts without the field predate versioning
+/// (read them as version 0); bump this on any breaking shape change.  See
+/// docs/schemas.md.
+inline constexpr int k_fleet_schema_version = 1;
 
 /// One circuit to push through the pipeline.
 struct fleet_job {
@@ -102,6 +111,13 @@ struct fleet_options {
     /// Restore the pre-robustness contract: after all workers join, rethrow
     /// the first failed job's exception instead of returning partial results.
     bool fail_fast = false;
+    /// Telemetry master switch.  On (default): every job runs with a trace
+    /// (stage spans land in job_result::spans), a flight recorder (dumped
+    /// into job_result::flight for non-ok jobs), per-vector delay histograms,
+    /// and a registry flush.  Off: the pipeline runs with all of it
+    /// compiled in but unwired — the baseline arm of the instrumentation
+    /// overhead A/B in bench_fleet_scaling.
+    bool telemetry = true;
 };
 
 struct job_result {
@@ -111,6 +127,13 @@ struct job_result {
     job_status status = job_status::ok;
     std::string error;      ///< what() of the final failure; empty on success
     unsigned attempts = 1;  ///< pipeline runs consumed (1 = no retries)
+    /// Stage-span breakdown of the *final* attempt (partial but well-formed
+    /// when that attempt died mid-stage).  Empty with telemetry off.
+    std::vector<obs::span_record> spans;
+    /// Flight-recorder dump — the job's last ~128 progress/fault/error
+    /// events.  Populated only for non-ok jobs (the post-mortem payload);
+    /// empty for succeeded jobs and with telemetry off.
+    std::vector<obs::fr_event> flight;
 };
 
 struct fleet_result {
@@ -148,6 +171,15 @@ struct fleet_result {
     /// excludes synthesis/mapping/EE-search, so events/s measures the
     /// simulator engine itself.
     double total_sim_wall_ms = 0.0;
+    /// Fleet-wide per-vector completion-time distributions (integer ps),
+    /// merged bucket-exactly over the succeeded jobs — plain PL vs EE, the
+    /// paper's comparison as distributions rather than means.  Empty with
+    /// telemetry off.
+    obs::hist_snapshot delay_hist_no_ee;
+    obs::hist_snapshot delay_hist_ee;
+    /// Per-job wall-time distribution in integer microseconds, over *all*
+    /// jobs (failed ones burn wall time too).  Empty with telemetry off.
+    obs::hist_snapshot job_wall_hist_us;
     /// Trigger-cache counters: the shared concurrent cache's totals when
     /// sharing, the summed per-job lookup counters otherwise.
     std::uint64_t cache_hits = 0;

@@ -1,12 +1,13 @@
 #include "sim/measure.hpp"
 
 #include <bit>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "netlist/sync_sim.hpp"
+#include "obs/registry.hpp"
 #include "rt/errors.hpp"
+#include "rt/wall_timer.hpp"
 
 namespace plee::sim {
 
@@ -30,15 +31,17 @@ void measure_serial(const pl::pl_netlist& pl, const nl::netlist* golden,
                     const std::vector<stimulus_block>& blocks,
                     measure_result& result) {
     pl_simulator simulator(pl, options.sim);
-    const auto sim_start = std::chrono::steady_clock::now();
-    const std::vector<wave_record> waves = simulator.run_packed(blocks);
-    const auto sim_end = std::chrono::steady_clock::now();
-
+    std::vector<wave_record> waves;
+    {
+        const obs::scoped_span span(options.trace, "sim.run");
+        const wall_timer timer;
+        waves = simulator.run_packed(blocks);
+        result.sim_wall_ms = timer.elapsed_ms();
+    }
     result.stats = simulator.stats();
-    result.sim_wall_ms =
-        std::chrono::duration<double, std::milli>(sim_end - sim_start).count();
 
     if (golden != nullptr) {
+        const obs::scoped_span span(options.trace, "sim.golden");
         nl::sync_simulator gold(*golden);
         std::vector<bool> inputs;
         for (std::size_t w = 0; w < waves.size(); ++w) {
@@ -67,26 +70,28 @@ void measure_lanes(const pl::pl_netlist& pl, const nl::netlist* golden,
     std::vector<lane_block_result> lane_results;
     lane_results.reserve(blocks.size());
     sim_run_stats total{};
-    const auto sim_start = std::chrono::steady_clock::now();
-    for (const stimulus_block& block : blocks) {
-        lane_results.push_back(simulator.run_lanes(block));
-        const sim_run_stats& s = simulator.stats();
-        total.events += s.events;
-        total.firings += s.firings;
-        total.ee_hits += s.ee_hits;
-        total.ee_misses += s.ee_misses;
-        total.ee_wins += s.ee_wins;
-        total.lane_blocks += s.lane_blocks;
-        total.lane_vectors += s.lane_vectors;
-        total.lane_runs += s.lane_runs;
-        total.lane_splits += s.lane_splits;
+    {
+        const obs::scoped_span span(options.trace, "sim.run");
+        const wall_timer timer;
+        for (const stimulus_block& block : blocks) {
+            lane_results.push_back(simulator.run_lanes(block));
+            const sim_run_stats& s = simulator.stats();
+            total.events += s.events;
+            total.firings += s.firings;
+            total.ee_hits += s.ee_hits;
+            total.ee_misses += s.ee_misses;
+            total.ee_wins += s.ee_wins;
+            total.lane_blocks += s.lane_blocks;
+            total.lane_vectors += s.lane_vectors;
+            total.lane_runs += s.lane_runs;
+            total.lane_splits += s.lane_splits;
+        }
+        result.sim_wall_ms = timer.elapsed_ms();
     }
-    const auto sim_end = std::chrono::steady_clock::now();
     result.stats = total;
-    result.sim_wall_ms =
-        std::chrono::duration<double, std::milli>(sim_end - sim_start).count();
 
     if (golden != nullptr) {
+        const obs::scoped_span span(options.trace, "sim.golden");
         nl::sync_lane_simulator gold(*golden);
         std::vector<std::uint64_t> expected(golden->outputs().size());
         std::size_t mismatched = 0;
@@ -170,6 +175,42 @@ measure_result measure_average_delay(const pl::pl_netlist& pl,
         const double variance =
             std::max(0.0, sum_sq / n - result.avg_delay * result.avg_delay);
         result.stddev = std::sqrt(variance);
+    }
+
+    if (options.telemetry) {
+        // Distribution + registry flush happen once per measurement, off the
+        // simulator's hot path: the per-event cost of telemetry is zero.
+        for (const double d : result.delays) {
+            result.delay_hist.record(
+                d <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(d * 1e3)));
+        }
+        static obs::counter& events =
+            obs::registry::global().get_counter("sim.events");
+        static obs::counter& firings =
+            obs::registry::global().get_counter("sim.firings");
+        static obs::counter& vectors =
+            obs::registry::global().get_counter("sim.vectors");
+        static obs::counter& ee_hits =
+            obs::registry::global().get_counter("sim.ee.hits");
+        static obs::counter& ee_misses =
+            obs::registry::global().get_counter("sim.ee.misses");
+        static obs::counter& ee_wins =
+            obs::registry::global().get_counter("sim.ee.wins");
+        static obs::histogram& delay_hist =
+            obs::registry::global().get_histogram("sim.vector_delay_ps");
+        static obs::histogram& wall_hist =
+            obs::registry::global().get_histogram("sim.measure_wall_us");
+        events.add(result.stats.events);
+        firings.add(result.stats.firings);
+        vectors.add(result.delays.size());
+        ee_hits.add(result.stats.ee_hits);
+        ee_misses.add(result.stats.ee_misses);
+        ee_wins.add(result.stats.ee_wins);
+        delay_hist.merge(result.delay_hist);
+        wall_hist.record(result.sim_wall_ms <= 0.0
+                             ? 0
+                             : static_cast<std::uint64_t>(
+                                   std::llround(result.sim_wall_ms * 1e3)));
     }
     return result;
 }

@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "plogic/pl_netlist.hpp"
 #include "sim/pl_sim.hpp"
 #include "sim/stimulus.hpp"
@@ -52,6 +54,13 @@ struct measure_options {
     sim_options sim{};
     /// Throw std::logic_error if PL outputs diverge from the golden netlist.
     bool require_functional_match = true;
+    /// Per-job trace to hang "sim.run" / "sim.golden" spans on.  Not owned;
+    /// null = untraced.
+    obs::trace* trace = nullptr;
+    /// When false, skips everything observable-only: the per-vector delay
+    /// histogram and the registry flush.  This is the "compiled-in-but-idle"
+    /// arm of the overhead A/B — the measurement itself is unchanged.
+    bool telemetry = true;
 };
 
 struct measure_result {
@@ -68,6 +77,11 @@ struct measure_result {
     double sim_wall_ms = 0.0;
     /// The lane count the measurement actually used.
     std::size_t lanes = 1;
+    /// Per-vector completion-time distribution in integer picoseconds
+    /// (delay_ns * 1000 rounded), so the histogram's <0.8% bucket error
+    /// dominates quantization.  Empty when measure_options::telemetry is
+    /// false.
+    obs::hist_snapshot delay_hist;
     /// Lane mode: (vectors - engine passes) / (vectors - blocks) — the
     /// fraction of the possible run merging achieved.  1.0 = every block ran
     /// fully lockstep (one pass per 64 vectors), 0.0 = every vector needed

@@ -328,6 +328,10 @@ void pl_simulator::run_heap() {
                 throw job_timeout("sim.events", options_.label, stats_.events);
             }
             fault::injector::instance().check("sim.fire", stats_.events);
+            if (options_.recorder != nullptr) {
+                options_.recorder->record("sim.progress", stats_.events,
+                                          waves_stable_);
+            }
         }
         std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
         const deposit d = heap_.back();
@@ -595,6 +599,10 @@ void pl_simulator::run_calendar() {
                     throw job_timeout("sim.events", options_.label, events);
                 }
                 fault::injector::instance().check("sim.fire", events);
+                if (options_.recorder != nullptr) {
+                    options_.recorder->record("sim.progress", events,
+                                              waves_stable_);
+                }
             }
             // Argument loads happen before the call, so the reference going
             // stale on an in-run push inside place_fast is harmless.
@@ -985,6 +993,10 @@ void pl_simulator::run_lane_pass(std::uint64_t mask, lane_block_result& result) 
                     throw job_timeout("sim.events", options_.label, events);
                 }
                 fault::injector::instance().check("sim.fire", events);
+                if (options_.recorder != nullptr) {
+                    options_.recorder->record("sim.progress", events,
+                                              waves_stable_);
+                }
             }
             const cal_event& dep = calendar_.pop_min();
             place_lanes(dep.edge(), dep.time);

@@ -80,6 +80,7 @@
 
 #include "bool/truth_table.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "plogic/pl_flat.hpp"
 #include "plogic/pl_netlist.hpp"
 #include "rt/cancel.hpp"
@@ -122,6 +123,11 @@ struct sim_options {
     /// (with a partial event-count snapshot) when it has expired.  Not
     /// owned; null = never cancelled.
     cancel_token* cancel = nullptr;
+    /// Flight recorder for progress beats: both engines record a
+    /// "sim.progress" event (events, waves-stable) at the same
+    /// k_cancel_check_events cadence as the cancel poll, so a post-mortem of
+    /// a dead job shows how far the simulation got.  Not owned; null = off.
+    obs::flight_recorder* recorder = nullptr;
 };
 
 const char* to_string(queue_kind kind);

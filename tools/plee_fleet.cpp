@@ -28,6 +28,15 @@
 //   --inject SPEC          arm the deterministic fault injector, e.g.
 //                          'seed=42;ee.search=0.5;sim.fire=1:delay=5'
 //
+// Telemetry (see src/obs/README.md and docs/schemas.md):
+//   --metrics-out PATH     write the process metrics registry as Prometheus
+//                          text exposition after the fleet completes
+//   --trace-out PATH       write a JSONL telemetry stream: one record per
+//                          job (stage spans; flight-recorder dump for non-ok
+//                          jobs) plus one final registry-snapshot record
+//   --no-telemetry         run with telemetry compiled in but unwired (the
+//                          baseline arm of the overhead A/B)
+//
 // Every circuit runs the full synth -> PL-map -> EE -> simulate pipeline
 // with golden-model verification.  Exit status: 0 = every job ok,
 // 2 = fleet completed but some jobs failed/timed out (partial results),
@@ -35,11 +44,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_circuits/itc99.hpp"
 #include "fault/injector.hpp"
+#include "obs/registry.hpp"
+#include "obs/sink.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "runner/runner.hpp"
@@ -57,8 +70,46 @@ void usage(const char* argv0) {
                  "       [--queue calendar|heap] [--lanes 1|64] [--no-check] "
                  "[--no-share]\n"
                  "       [--job-deadline-ms MS] [--max-retries N] [--fail-fast]\n"
-                 "       [--inject SPEC] [--json PATH]\n",
+                 "       [--inject SPEC] [--json PATH]\n"
+                 "       [--metrics-out PATH] [--trace-out PATH] "
+                 "[--no-telemetry]\n",
                  argv0);
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    f << text;
+    if (!f) throw std::runtime_error("write failed for " + path);
+}
+
+/// The --trace-out JSONL stream: one "job" record per job, one trailing
+/// "metrics" record with the registry snapshot.
+std::string trace_jsonl(const runner::fleet_result& fleet) {
+    std::string out;
+    for (const runner::job_result& r : fleet.results) {
+        report::json rec = report::json::object();
+        rec.set("type", report::json::str("job"));
+        rec.set("id", report::json::str(r.id));
+        rec.set("status", report::json::str(runner::to_string(r.status)));
+        rec.set("attempts",
+                report::json::number(static_cast<std::int64_t>(r.attempts)));
+        rec.set("wall_ms", report::json::number(r.wall_ms));
+        if (!r.error.empty()) rec.set("error", report::json::str(r.error));
+        rec.set("spans", obs::spans_to_json(r.spans));
+        if (!r.flight.empty()) {
+            rec.set("flight_recorder", obs::flight_to_json(r.flight));
+        }
+        out += rec.dump_compact();
+        out += '\n';
+    }
+    report::json rec = report::json::object();
+    rec.set("type", report::json::str("metrics"));
+    rec.set("metrics",
+            obs::metrics_to_json(obs::registry::global().snapshot()));
+    out += rec.dump_compact();
+    out += '\n';
+    return out;
 }
 
 std::vector<std::string> split_ids(const std::string& list) {
@@ -89,6 +140,9 @@ int main(int argc, char** argv) {
     std::size_t lanes = 1;
     bool check_early_value = true;
     std::string json_path;
+    std::string metrics_path;
+    std::string trace_path;
+    bool telemetry = true;
     double job_deadline_ms = 0.0;
     unsigned max_retries = 0;
     bool fail_fast = false;
@@ -141,6 +195,12 @@ int main(int argc, char** argv) {
             if (const char* v = next()) inject_spec = v; else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (const char* v = next()) json_path = v; else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+            if (const char* v = next()) metrics_path = v; else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            if (const char* v = next()) trace_path = v; else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
+            telemetry = false;
         } else {
             usage(argv[0]);
             return 1;
@@ -204,6 +264,7 @@ int main(int argc, char** argv) {
         opts.experiment.measure.lanes = lanes;
         opts.experiment.measure.sim.queue = queue;
         opts.experiment.measure.sim.check_early_value = check_early_value;
+        opts.telemetry = telemetry;
         if (seed_given) opts.experiment.measure.seed = seed;
         const runner::fleet_result fleet = runner::run_fleet(jobs, opts);
 
@@ -252,11 +313,36 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(fleet.cache_misses),
                     fleet.cache_entries);
 
+        if (!fleet.delay_hist_no_ee.empty() && !fleet.delay_hist_ee.empty()) {
+            // The paper's comparison as a distribution, not a mean: fleet-wide
+            // per-vector completion-time percentiles, ns (recorded in ps).
+            const obs::hist_snapshot& h0 = fleet.delay_hist_no_ee;
+            const obs::hist_snapshot& h1 = fleet.delay_hist_ee;
+            std::printf("delay p50/p90/p99/max (ns): plain %.1f/%.1f/%.1f/%.1f"
+                        " -> ee %.1f/%.1f/%.1f/%.1f\n",
+                        h0.value_at_percentile(50) / 1e3,
+                        h0.value_at_percentile(90) / 1e3,
+                        h0.value_at_percentile(99) / 1e3, h0.max / 1e3,
+                        h1.value_at_percentile(50) / 1e3,
+                        h1.value_at_percentile(90) / 1e3,
+                        h1.value_at_percentile(99) / 1e3, h1.max / 1e3);
+        }
+
         if (!json_path.empty()) {
             report::json root = runner::to_json(fleet);
             root.set("bench", report::json::str("plee_fleet"));
             root.write_file(json_path);
             std::printf("wrote %s\n", json_path.c_str());
+        }
+        if (!metrics_path.empty()) {
+            write_text_file(
+                metrics_path,
+                obs::to_prometheus(obs::registry::global().snapshot()));
+            std::printf("wrote %s\n", metrics_path.c_str());
+        }
+        if (!trace_path.empty()) {
+            write_text_file(trace_path, trace_jsonl(fleet));
+            std::printf("wrote %s\n", trace_path.c_str());
         }
         return fleet.all_ok() ? 0 : 2;
     } catch (const std::exception& e) {

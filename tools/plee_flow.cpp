@@ -23,6 +23,10 @@
 //   --vcd FILE         write a token waveform of the measured run
 //   --blif-out FILE    re-export the synchronous netlist as BLIF
 //   --report           per-trigger detail (support, coverage, cost)
+//   --metrics-out FILE write the process metrics registry as Prometheus
+//                      text exposition (see src/obs/README.md)
+//   --trace-out FILE   write a JSONL telemetry stream: the run's stage-span
+//                      breakdown plus a registry snapshot (docs/schemas.md)
 //
 // Exit status is non-zero on any verification failure (the tool re-checks
 // liveness/safety and wave-by-wave equivalence with the synchronous model).
@@ -38,7 +42,12 @@
 #include "bool/support.hpp"
 #include "ee/ee_transform.hpp"
 #include "netlist/blif.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "plogic/pl_mapper.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 #include "sim/measure.hpp"
 #include "sim/vcd.hpp"
@@ -63,6 +72,8 @@ struct cli_options {
     std::string vcd_out;
     std::string blif_out;
     bool per_trigger_report = false;
+    std::string metrics_out;
+    std::string trace_out;
 };
 
 void usage() {
@@ -71,7 +82,8 @@ void usage() {
                  "[--threshold X]\n                 [--method exact|cube] [--no-ee] "
                  "[--threads N] [--seed S]\n                 [--queue calendar|heap] "
                  "[--lanes 1|64] [--no-check]\n                 [--dot FILE] "
-                 "[--vcd FILE] [--blif-out FILE] [--report]\n");
+                 "[--vcd FILE] [--blif-out FILE] [--report]\n"
+                 "                 [--metrics-out FILE] [--trace-out FILE]\n");
 }
 
 std::optional<cli_options> parse(int argc, char** argv) {
@@ -132,6 +144,10 @@ std::optional<cli_options> parse(int argc, char** argv) {
             if (const char* v = next()) o.blif_out = v; else return std::nullopt;
         } else if (arg == "--report") {
             o.per_trigger_report = true;
+        } else if (arg == "--metrics-out") {
+            if (const char* v = next()) o.metrics_out = v; else return std::nullopt;
+        } else if (arg == "--trace-out") {
+            if (const char* v = next()) o.trace_out = v; else return std::nullopt;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return std::nullopt;
@@ -139,6 +155,12 @@ std::optional<cli_options> parse(int argc, char** argv) {
     }
     if (o.bench.empty() == o.blif_in.empty()) return std::nullopt;  // exactly one
     return o;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+    out << text;
 }
 
 }  // namespace
@@ -150,6 +172,13 @@ int main(int argc, char** argv) {
         return 2;
     }
     const cli_options& o = *parsed;
+
+    // One trace + flight recorder for the whole flow: stage spans mirror the
+    // fleet pipeline's, so a plee_flow --trace-out record reads like one
+    // fleet job's.
+    obs::trace trace;
+    obs::flight_recorder recorder;
+    const obs::recorder_scope ambient_recorder(&recorder);
 
     try {
         // --- Front end -------------------------------------------------------
@@ -169,7 +198,10 @@ int main(int argc, char** argv) {
         }
 
         // --- Phased Logic mapping --------------------------------------------
-        pl::map_result mapped = pl::map_to_phased_logic(netlist);
+        pl::map_result mapped = [&] {
+            const obs::scoped_span span(&trace, "map_to_pl");
+            return pl::map_to_phased_logic(netlist);
+        }();
         const pl::mg_report health = mapped.pl.verify();
         std::printf("phased logic: %zu PL gates, %zu acks (+%zu saved), "
                     "well-formed=%d live=%d safe=%d\n",
@@ -185,7 +217,11 @@ int main(int argc, char** argv) {
             opts.search.cost_threshold = o.threshold;
             opts.search.method = o.method;
             opts.num_threads = o.threads;
-            const ee::ee_stats stats = ee::apply_early_evaluation(mapped.pl, opts);
+            opts.recorder = &recorder;
+            const ee::ee_stats stats = [&] {
+                const obs::scoped_span span(&trace, "ee.search");
+                return ee::apply_early_evaluation(mapped.pl, opts);
+            }();
             std::printf("early evaluation: %zu triggers on %zu masters "
                         "(+%.0f%% area)\n",
                         stats.triggers_added, stats.masters_considered,
@@ -230,9 +266,13 @@ int main(int argc, char** argv) {
         mopts.sim.collect_trace = !o.vcd_out.empty() && o.lanes == 1;
         mopts.sim.queue = o.queue;
         mopts.sim.check_early_value = o.check_early_value;
+        mopts.sim.recorder = &recorder;
+        mopts.trace = &trace;
 
-        const sim::measure_result r =
-            sim::measure_average_delay(mapped.pl, &netlist, mopts);
+        const sim::measure_result r = [&] {
+            const obs::scoped_span span(&trace, "measure");
+            return sim::measure_average_delay(mapped.pl, &netlist, mopts);
+        }();
         std::printf("simulated %zu vectors: avg delay %.2f ns (min %.2f, max "
                     "%.2f, stddev %.2f), outputs match golden model\n",
                     o.vectors, r.avg_delay, r.min_delay, r.max_delay, r.stddev);
@@ -260,6 +300,16 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(r.stats.ee_misses),
                         static_cast<unsigned long long>(r.stats.ee_wins));
         }
+        if (!r.delay_hist.empty()) {
+            // Recorded as integer picoseconds; print as ns to match avg delay.
+            const obs::hist_snapshot& h = r.delay_hist;
+            std::printf("delay percentiles (ns): p50 %.2f  p90 %.2f  p99 %.2f  "
+                        "max %.2f\n",
+                        static_cast<double>(h.value_at_percentile(50.0)) / 1e3,
+                        static_cast<double>(h.value_at_percentile(90.0)) / 1e3,
+                        static_cast<double>(h.value_at_percentile(99.0)) / 1e3,
+                        static_cast<double>(h.max) / 1e3);
+        }
 
         if (!o.vcd_out.empty()) {
             // Re-run with tracing (measure_average_delay constructs its own
@@ -275,6 +325,27 @@ int main(int argc, char** argv) {
             out << sim::to_vcd(mapped.pl, tracer.trace());
             std::printf("wrote %s (first %zu vectors)\n", o.vcd_out.c_str(),
                         std::min<std::size_t>(o.vectors, 10));
+        }
+
+        // --- Telemetry sinks -------------------------------------------------
+        if (!o.metrics_out.empty()) {
+            write_text_file(o.metrics_out, obs::to_prometheus(
+                                               obs::registry::global().snapshot()));
+            std::printf("wrote %s\n", o.metrics_out.c_str());
+        }
+        if (!o.trace_out.empty()) {
+            report::json flow = report::json::object();
+            flow.set("type", report::json::str("flow"));
+            flow.set("id", report::json::str(o.bench.empty() ? o.blif_in
+                                                             : o.bench));
+            flow.set("spans", obs::spans_to_json(trace.spans()));
+            report::json metrics = report::json::object();
+            metrics.set("type", report::json::str("metrics"));
+            metrics.set("metrics",
+                        obs::metrics_to_json(obs::registry::global().snapshot()));
+            write_text_file(o.trace_out, flow.dump_compact() + "\n" +
+                                             metrics.dump_compact() + "\n");
+            std::printf("wrote %s\n", o.trace_out.c_str());
         }
         return 0;
     } catch (const std::exception& e) {
