@@ -1,0 +1,52 @@
+// cache_image.hpp — the in-memory exchange form of a trigger memo.
+//
+// Both trigger caches (the per-pass trigger_cache and the fleet-shared
+// concurrent_trigger_cache) export their two levels into this plain struct
+// and merge one back in.  The image is the seam between the caches and the
+// durable snapshot layer (src/persist/): the caches know how to iterate and
+// union their maps, persist knows how to turn an image into checksummed
+// bytes and untrusted bytes back into an image — neither needs the other's
+// internals.
+//
+// Merging is a union keyed on the same (bits, support, num_vars) keys the
+// caches use.  Entries are oracle-equal by construction — two snapshots that
+// both hold (class, support) hold the *same* exact trigger, because the
+// trigger is a pure function of the class — so merge order is irrelevant and
+// merging N hosts' snapshots is associative and commutative.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bool/truth_table.hpp"
+#include "ee/trigger_cache.hpp"
+
+namespace plee::ee {
+
+struct cache_image {
+    canon_mode mode = canon_mode::npn;
+
+    /// Function level: concrete master bits -> canonicalization result.
+    struct fn_entry {
+        int num_vars = 0;
+        bf::tt_words bits{};  ///< concrete master function
+        trigger_cache::canonical_form form;
+    };
+
+    /// Class level: (canonical bits, canonical support) -> exact trigger.
+    struct trig_entry {
+        int num_vars = 0;          ///< master arity
+        bf::tt_words class_bits{}; ///< canonical (or identity-form) master
+        std::uint32_t support = 0; ///< canonical support mask
+        bf::truth_table trigger{0};
+    };
+
+    std::vector<fn_entry> fns;
+    std::vector<trig_entry> triggers;
+
+    std::size_t entries() const { return fns.size() + triggers.size(); }
+    bool empty() const { return fns.empty() && triggers.empty(); }
+};
+
+}  // namespace plee::ee

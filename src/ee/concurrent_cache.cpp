@@ -1,7 +1,9 @@
 #include "ee/concurrent_cache.hpp"
 
 #include <mutex>
+#include <stdexcept>
 
+#include "ee/cache_image.hpp"
 #include "ee/trigger_search.hpp"
 #include "fault/injector.hpp"
 #include "obs/registry.hpp"
@@ -110,6 +112,44 @@ std::size_t concurrent_trigger_cache::canonicalized_masters() const {
         total += s.map.size();
     }
     return total;
+}
+
+cache_image concurrent_trigger_cache::export_image() const {
+    cache_image img;
+    img.mode = mode_;
+    for (const fn_shard& s : fn_shards_) {
+        const std::lock_guard<std::mutex> lock(s.mu);
+        for (const auto& [k, form] : s.map) {
+            img.fns.push_back({k.num_vars, k.bits, form});
+        }
+    }
+    for (const trig_shard& s : trig_shards_) {
+        const std::lock_guard<std::mutex> lock(s.mu);
+        for (const auto& [k, trig] : s.map) {
+            img.triggers.push_back({k.num_vars, k.bits, k.support, trig});
+        }
+    }
+    return img;
+}
+
+void concurrent_trigger_cache::merge_from_snapshot(const cache_image& image) {
+    if (image.mode != mode_) {
+        throw std::logic_error(
+            "concurrent_trigger_cache::merge_from_snapshot: "
+            "canonicalization mode mismatch");
+    }
+    for (const auto& e : image.fns) {
+        const fn_key fk{e.bits, e.num_vars};
+        fn_shard& shard = fn_shards_[fn_hash{}(fk) % k_num_shards];
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.emplace(fk, e.form);
+    }
+    for (const auto& e : image.triggers) {
+        const trig_key tk{e.class_bits, e.support, e.num_vars};
+        trig_shard& shard = trig_shards_[trig_hash{}(tk) % k_num_shards];
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.emplace(tk, e.trigger);
+    }
 }
 
 }  // namespace plee::ee

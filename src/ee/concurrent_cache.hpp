@@ -54,6 +54,18 @@ public:
     /// Distinct master functions canonicalized, fleet-wide.
     std::size_t canonicalized_masters() const;
 
+    /// Copies both levels into the snapshot exchange form (cache_image.hpp),
+    /// taking each shard lock in turn.  Safe concurrently with lookups; the
+    /// image is a consistent-per-shard point-in-time union, which is all a
+    /// memo of pure functions needs.
+    cache_image export_image() const;
+
+    /// Unions a (validated) snapshot image into the cache: insert-if-absent
+    /// per shard, existing entries win, counters untouched.  Thread-safe,
+    /// though the runner calls it before fan-out.  Throws std::logic_error
+    /// on canonicalization-mode mismatch.
+    void merge_from_snapshot(const cache_image& image);
+
     static constexpr std::size_t k_num_shards = 64;
 
 private:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bool/splitmix64.hpp"
+#include "ee/cache_image.hpp"
 #include "ee/trigger_search.hpp"
 
 namespace plee::ee {
@@ -241,6 +242,33 @@ void trigger_cache::merge_from(const trigger_cache& other) {
     for (const auto& [k, v] : other.canon_memo_) canon_memo_.emplace(k, v);
     hits_ += other.hits_;
     misses_ += other.misses_;
+}
+
+cache_image trigger_cache::export_image() const {
+    cache_image img;
+    img.mode = mode_;
+    img.fns.reserve(canon_memo_.size());
+    for (const auto& [k, form] : canon_memo_) {
+        img.fns.push_back({k.num_vars, k.bits, form});
+    }
+    img.triggers.reserve(memo_.size());
+    for (const auto& [k, trig] : memo_) {
+        img.triggers.push_back({k.num_vars, k.bits, k.support, trig});
+    }
+    return img;
+}
+
+void trigger_cache::merge_from_snapshot(const cache_image& image) {
+    if (image.mode != mode_) {
+        throw std::logic_error(
+            "trigger_cache::merge_from_snapshot: canonicalization mode mismatch");
+    }
+    for (const auto& e : image.fns) {
+        canon_memo_.emplace(key{e.bits, 0, e.num_vars}, e.form);
+    }
+    for (const auto& e : image.triggers) {
+        memo_.emplace(key{e.class_bits, e.support, e.num_vars}, e.trigger);
+    }
 }
 
 }  // namespace plee::ee

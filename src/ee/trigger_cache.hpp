@@ -41,6 +41,8 @@
 
 namespace plee::ee {
 
+struct cache_image;  // cache_image.hpp — snapshot exchange form
+
 /// Pure interface for exact-trigger memoization, so the search can run
 /// against a plain per-thread cache or a shared concurrent one.
 class trigger_memo {
@@ -71,6 +73,19 @@ public:
     /// merges its per-thread caches through this after joining.  Both caches
     /// must use the same canonicalization mode.
     void merge_from(const trigger_cache& other);
+
+    /// Copies both cache levels into the snapshot exchange form (see
+    /// cache_image.hpp).  Entry order is the map iteration order —
+    /// unspecified, and deliberately so: merge is order-independent.
+    cache_image export_image() const;
+
+    /// Unions a (validated) snapshot image into this cache: insert-if-absent
+    /// on both levels, existing entries win.  Does not touch hit/miss
+    /// counters — loaded entries only count once a lookup actually uses
+    /// them.  Throws std::logic_error on canonicalization-mode mismatch
+    /// (the snapshot loader checks the mode first, so reaching the throw
+    /// means a caller skipped validation).
+    void merge_from_snapshot(const cache_image& image);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }

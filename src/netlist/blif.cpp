@@ -94,7 +94,7 @@ netlist from_blif(std::istream& in) {
     std::vector<latch_block> latches;
 
     auto fail = [](int line, const std::string& what) {
-        throw std::runtime_error("BLIF line " + std::to_string(line) + ": " + what);
+        throw blif_error(line, what);
     };
 
     // --- Lexing/parsing ------------------------------------------------------
@@ -166,24 +166,33 @@ netlist from_blif(std::istream& in) {
                 if (tok[0].size() != current->inputs.size()) {
                     fail(line_no, "cover row width != fanin count");
                 }
+                for (const char c : tok[0]) {
+                    if (c != '0' && c != '1' && c != '-') {
+                        fail(line_no, std::string("bad cover character '") + c + "'");
+                    }
+                }
                 if (tok[1] != "0" && tok[1] != "1") fail(line_no, "bad output value");
                 current->rows.emplace_back(tok[0], tok[1][0]);
             }
         }
     }
-    if (!in_model) throw std::runtime_error("BLIF: no .model found");
+    if (!in_model) throw blif_error(0, "no .model found");
+    if (!pending.empty()) {
+        fail(line_no, "file ends mid-continuation ('\\' on final line)");
+    }
+    if (!ended) fail(line_no, "truncated file: missing .end");
 
     // --- Building ---------------------------------------------------------------
     netlist out;
     std::map<std::string, cell_id> net;  // driver of each named net
 
     for (const std::string& port : input_ports) {
-        if (net.count(port)) throw std::runtime_error("duplicate input " + port);
+        if (net.count(port)) throw blif_error(0, "duplicate input " + port);
         net.emplace(port, out.add_input(port));
     }
     for (const latch_block& l : latches) {
         if (net.count(l.output)) {
-            throw std::runtime_error("net driven twice: " + l.output);
+            throw blif_error(0, "net driven twice: " + l.output);
         }
         net.emplace(l.output, out.add_dff(k_invalid_cell, l.init, l.output));
     }
@@ -214,7 +223,9 @@ netlist from_blif(std::istream& in) {
             } else {
                 const int arity = static_cast<int>(b.inputs.size());
                 if (arity > bf::k_max_vars) {
-                    fail(b.line, "LUT wider than 6 inputs unsupported");
+                    fail(b.line, "LUT wider than " +
+                                     std::to_string(bf::k_max_vars) +
+                                     " inputs unsupported");
                 }
                 // Rows are either all ON-set or all OFF-set per BLIF rules.
                 bf::cube_list cover(arity);
@@ -236,22 +247,29 @@ netlist from_blif(std::istream& in) {
             progress = true;
         }
         if (!progress) {
-            throw std::runtime_error("BLIF: unresolvable (cyclic or undriven) .names");
+            throw blif_error(0, "unresolvable (cyclic or undriven) .names");
         }
     }
 
     for (const latch_block& l : latches) {
         auto it = net.find(l.input);
-        if (it == net.end()) throw std::runtime_error("latch input undriven: " + l.input);
+        if (it == net.end()) throw blif_error(0, "latch input undriven: " + l.input);
         out.set_dff_input(net.at(l.output), it->second);
     }
     for (const std::string& port : output_ports) {
         auto it = net.find(port);
-        if (it == net.end()) throw std::runtime_error("output undriven: " + port);
+        if (it == net.end()) throw blif_error(0, "output undriven: " + port);
         out.add_output(port, it->second);
     }
 
-    out.validate();
+    // validate() throws std::logic_error for structural defects a hostile
+    // file can still smuggle past the checks above (e.g. an output port name
+    // colliding with an input); re-type it so callers see one error family.
+    try {
+        out.validate();
+    } catch (const std::exception& e) {
+        throw blif_error(0, std::string("imported netlist invalid: ") + e.what());
+    }
     return out;
 }
 

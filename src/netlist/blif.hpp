@@ -15,6 +15,12 @@
 // Import accepts covers with '-' don't-cares and both ON-set ("1") and
 // OFF-set ("0") output columns, constants (".names y" with/without a "1"
 // row), and latches with initial values 0/1 (2/3 treated as 0).
+//
+// The importer treats its input as untrusted: every malformed construct —
+// bad cover characters, width mismatches, truncation mid-continuation or
+// before .end, cyclic or undriven nets — raises blif_error (a permanent
+// plee_error), never an unclassified exception and never undefined
+// behaviour, so a fleet job fed a hostile deck rejects it cleanly.
 
 #pragma once
 
@@ -22,15 +28,34 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "rt/errors.hpp"
 
 namespace plee::nl {
+
+/// Malformed-BLIF diagnostic.  `line()` is the 1-based source line the error
+/// is attributable to, or 0 for whole-file conditions (missing .model,
+/// undriven output port).  Classified permanent: re-parsing the same bytes
+/// fails the same way.
+class blif_error : public plee_error {
+public:
+    blif_error(int line, const std::string& what)
+        : plee_error(line > 0
+                         ? "BLIF line " + std::to_string(line) + ": " + what
+                         : "BLIF: " + what),
+          line_(line) {}
+
+    int line() const { return line_; }
+
+private:
+    int line_;
+};
 
 /// Serializes `netlist` as BLIF.  Port and latch names survive; internal LUT
 /// nets get synthetic names (n<id>).
 std::string to_blif(const netlist& nl, const std::string& model_name = "plee");
 
-/// Parses one .model from a BLIF stream.  Throws std::runtime_error with a
-/// line number on malformed input.  The result validates.
+/// Parses one .model from a BLIF stream.  Throws blif_error with a line
+/// number on malformed input.  The result validates.
 netlist from_blif(std::istream& in);
 netlist from_blif_string(const std::string& text);
 

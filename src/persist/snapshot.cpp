@@ -1,0 +1,553 @@
+#include "persist/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ee/trigger_search.hpp"
+#include "fault/injector.hpp"
+#include "obs/registry.hpp"
+#include "rt/wall_timer.hpp"
+
+namespace plee::persist {
+
+namespace {
+
+constexpr std::uint8_t k_rec_fn = 1;
+constexpr std::uint8_t k_rec_trigger = 2;
+constexpr std::uint8_t k_rec_footer = 255;
+constexpr std::size_t k_footer_payload = 16;
+/// Largest legitimate payload (an 8-variable canonicalization record is
+/// 16 + 2*32 = 80 bytes); anything claiming more is a hostile length field.
+constexpr std::size_t k_max_payload = 256;
+
+// ---- little-endian primitives ------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+// ---- record encoding ----------------------------------------------------
+
+void append_record(std::string& out, std::uint8_t type,
+                   const std::string& payload) {
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    // The record checksum covers the type byte and payload; the length field
+    // is protected only by its bounds (see the framing notes in the header).
+    std::string body;
+    body.push_back(static_cast<char>(type));
+    body += payload;
+    out += body;
+    put_u64(out, checksum(body.data(), body.size()));
+}
+
+std::string encode_fn(const ee::cache_image::fn_entry& e) {
+    const int wf = bf::words_for(e.num_vars);
+    std::string p;
+    p.push_back(static_cast<char>(e.num_vars));
+    p.push_back(static_cast<char>(e.form.output_neg ? 1 : 0));
+    p.push_back(0);
+    p.push_back(0);
+    put_u32(p, e.form.input_neg);
+    for (int v = 0; v < bf::k_max_vars; ++v) {
+        p.push_back(static_cast<char>(e.form.perm[static_cast<std::size_t>(v)]));
+    }
+    for (int w = 0; w < wf; ++w) put_u64(p, e.bits[static_cast<std::size_t>(w)]);
+    for (int w = 0; w < wf; ++w) {
+        put_u64(p, e.form.bits[static_cast<std::size_t>(w)]);
+    }
+    return p;
+}
+
+std::string encode_trigger(const ee::cache_image::trig_entry& e) {
+    const int tv = e.trigger.num_vars();
+    std::string p;
+    p.push_back(static_cast<char>(e.num_vars));
+    p.push_back(static_cast<char>(tv));
+    p.push_back(0);
+    p.push_back(0);
+    put_u32(p, e.support);
+    for (int w = 0; w < bf::words_for(e.num_vars); ++w) {
+        put_u64(p, e.class_bits[static_cast<std::size_t>(w)]);
+    }
+    for (int w = 0; w < bf::words_for(tv); ++w) {
+        put_u64(p, e.trigger.word(w));
+    }
+    return p;
+}
+
+// ---- field validation ---------------------------------------------------
+
+/// True when `words` respects the storage invariant for an `nv`-variable
+/// table: bits beyond the 2^nv rows are zero.  Checked *before* a
+/// truth_table is constructed so hostile bits never reach a throwing ctor.
+bool bits_in_range(const bf::tt_words& words, int nv) {
+    const int wf = bf::words_for(nv);
+    for (int w = wf; w < bf::k_num_words; ++w) {
+        if (words[static_cast<std::size_t>(w)] != 0) return false;
+    }
+    if (nv < bf::k_word_vars) {
+        const std::uint64_t mask = (1ull << (1u << nv)) - 1;
+        if ((words[0] & ~mask) != 0) return false;
+    }
+    return true;
+}
+
+bool valid_perm(const std::uint8_t* perm, int nv) {
+    std::uint32_t seen = 0;
+    for (int v = 0; v < nv; ++v) {
+        if (perm[v] >= nv) return false;
+        seen |= 1u << perm[v];
+    }
+    // Slots beyond the arity are zero as exported; a nonzero one is damage.
+    for (int v = nv; v < bf::k_max_vars; ++v) {
+        if (perm[v] != 0) return false;
+    }
+    return seen == (1u << nv) - 1;
+}
+
+/// Decodes + validates one canonicalization record payload.  Returns false
+/// (reject) on any bounds or self-consistency failure.
+bool decode_fn(const unsigned char* p, std::size_t len,
+               ee::cache_image::fn_entry& out) {
+    if (len < 16) return false;
+    const int nv = p[0];
+    if (nv < 1 || nv > bf::k_max_vars) return false;
+    const int wf = bf::words_for(nv);
+    if (len != 16 + 2 * 8 * static_cast<std::size_t>(wf)) return false;
+    if (p[1] > 1 || p[2] != 0 || p[3] != 0) return false;
+    out.num_vars = nv;
+    out.form.output_neg = p[1] != 0;
+    out.form.input_neg = get_u32(p + 4);
+    if (out.form.input_neg >= (1u << nv)) return false;
+    for (int v = 0; v < bf::k_max_vars; ++v) {
+        out.form.perm[static_cast<std::size_t>(v)] = p[8 + v];
+    }
+    if (!valid_perm(out.form.perm.data(), nv)) return false;
+    out.bits = bf::tt_words{};
+    out.form.bits = bf::tt_words{};
+    for (int w = 0; w < wf; ++w) {
+        out.bits[static_cast<std::size_t>(w)] = get_u64(p + 16 + 8 * w);
+        out.form.bits[static_cast<std::size_t>(w)] =
+            get_u64(p + 16 + 8 * (wf + w));
+    }
+    if (!bits_in_range(out.bits, nv) || !bits_in_range(out.form.bits, nv)) {
+        return false;
+    }
+    // Self-consistency: applying the stored transform to the stored concrete
+    // bits must land on the stored canonical bits.  A record that passes is
+    // result-correct by construction — a wrong-but-consistent form could
+    // only fragment class sharing, never change a trigger — so this is the
+    // full correctness bar for canonicalization records.
+    bf::truth_table g =
+        bf::truth_table(nv, out.bits).negate_inputs(out.form.input_neg);
+    if (out.form.output_neg) g = ~g;
+    std::vector<int> perm(static_cast<std::size_t>(nv));
+    for (int v = 0; v < nv; ++v) {
+        perm[static_cast<std::size_t>(v)] =
+            out.form.perm[static_cast<std::size_t>(v)];
+    }
+    return g.permute(perm).words() == out.form.bits;
+}
+
+bool decode_trigger(const unsigned char* p, std::size_t len,
+                    ee::cache_image::trig_entry& out) {
+    if (len < 8) return false;
+    const int nv = p[0];
+    const int tv = p[1];
+    if (nv < 1 || nv > bf::k_max_vars) return false;
+    if (tv < 1 || tv > nv) return false;
+    if (p[2] != 0 || p[3] != 0) return false;
+    const std::uint32_t support = get_u32(p + 4);
+    if (support >= (1u << nv)) return false;
+    if (std::popcount(support) != tv) return false;
+    const int wn = bf::words_for(nv);
+    const int wt = bf::words_for(tv);
+    if (len != 8 + 8 * static_cast<std::size_t>(wn + wt)) return false;
+    out.num_vars = nv;
+    out.support = support;
+    out.class_bits = bf::tt_words{};
+    bf::tt_words trig_words{};
+    for (int w = 0; w < wn; ++w) {
+        out.class_bits[static_cast<std::size_t>(w)] = get_u64(p + 8 + 8 * w);
+    }
+    for (int w = 0; w < wt; ++w) {
+        trig_words[static_cast<std::size_t>(w)] = get_u64(p + 8 + 8 * (wn + w));
+    }
+    if (!bits_in_range(out.class_bits, nv) || !bits_in_range(trig_words, tv)) {
+        return false;
+    }
+    out.trigger = bf::truth_table(tv, trig_words);
+    return true;
+}
+
+// ---- POSIX atomic write -------------------------------------------------
+
+void throw_errno(const std::string& what, const std::string& path) {
+    throw snapshot_error("persist: " + what + " '" + path +
+                         "': " + std::strerror(errno));
+}
+
+std::string dirname_of(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) return ".";
+    if (slash == 0) return "/";
+    return path.substr(0, slash);
+}
+
+/// write + fsync + rename + directory fsync.  A crash at any point leaves
+/// `path` either untouched or fully replaced.
+void atomic_write_bytes(const std::string& path, const std::string& bytes) {
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_errno("open failed for", tmp);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw_errno("write failed for", tmp);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw_errno("fsync failed for", tmp);
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw_errno("rename failed onto", path);
+    }
+    // Persist the rename itself: fsync the containing directory.  Failure
+    // here is not fatal — the data is durable, only the directory entry may
+    // lag — so a directory that cannot be opened (exotic filesystems) is
+    // tolerated.
+    const int dfd = ::open(dirname_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+}  // namespace
+
+const char* to_string(verify_mode v) {
+    switch (v) {
+        case verify_mode::off: return "off";
+        case verify_mode::sampled: return "sampled";
+        case verify_mode::full: return "full";
+    }
+    return "?";
+}
+
+verify_mode parse_verify_mode(const std::string& s) {
+    if (s == "off") return verify_mode::off;
+    if (s == "sampled") return verify_mode::sampled;
+    if (s == "full") return verify_mode::full;
+    throw std::invalid_argument("persist: unknown verify mode '" + s +
+                                "' (off|sampled|full)");
+}
+
+const char* to_string(load_outcome o) {
+    switch (o) {
+        case load_outcome::clean: return "clean";
+        case load_outcome::salvaged: return "salvaged";
+        case load_outcome::cold: return "cold";
+    }
+    return "?";
+}
+
+std::uint64_t checksum(const char* data, std::size_t size) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string encode_image(const ee::cache_image& image) {
+    std::string out;
+    out.append(k_snapshot_magic, sizeof(k_snapshot_magic));
+    put_u32(out, k_snapshot_schema_version);
+    put_u32(out, k_endian_tag);
+    out.push_back(static_cast<char>(image.mode));
+    out.append(3, '\0');
+    out.append(4, '\0');
+    put_u64(out, checksum(out.data(), out.size()));
+
+    for (const auto& e : image.fns) append_record(out, k_rec_fn, encode_fn(e));
+    for (const auto& e : image.triggers) {
+        append_record(out, k_rec_trigger, encode_trigger(e));
+    }
+
+    std::string footer;
+    put_u64(footer, checksum(out.data(), out.size()));
+    put_u64(footer, static_cast<std::uint64_t>(image.entries()));
+    append_record(out, k_rec_footer, footer);
+    return out;
+}
+
+load_result decode_image(const char* data, std::size_t size,
+                         const load_options& opts) {
+    load_result res;
+    res.bytes = size;
+    const unsigned char* u = reinterpret_cast<const unsigned char*>(data);
+
+    // ---- header: any failure here is a cold start -----------------------
+    if (size < k_header_size) {
+        res.detail = "file too small for header (" + std::to_string(size) +
+                     " bytes)";
+        return res;
+    }
+    if (std::memcmp(data, k_snapshot_magic, sizeof(k_snapshot_magic)) != 0) {
+        res.detail = "bad magic";
+        return res;
+    }
+    if (checksum(data, 24) != get_u64(u + 24)) {
+        res.detail = "header checksum mismatch";
+        return res;
+    }
+    const std::uint32_t version = get_u32(u + 8);
+    if (version > k_snapshot_schema_version) {
+        // A snapshot from a future build is not corruption — cold-start
+        // cleanly and let the save path replace it with this version.
+        res.detail = "schema version " + std::to_string(version) + " > " +
+                     std::to_string(k_snapshot_schema_version);
+        return res;
+    }
+    if (get_u32(u + 12) != k_endian_tag) {
+        res.detail = "endianness tag mismatch";
+        return res;
+    }
+    const std::uint8_t mode_byte = u[16];
+    if (mode_byte > 1) {
+        res.detail = "bad canon_mode byte";
+        return res;
+    }
+    res.image.mode = static_cast<ee::canon_mode>(mode_byte);
+    if (res.image.mode != opts.expected_mode) {
+        res.detail = "snapshot canon mode does not match the cache";
+        return res;
+    }
+
+    // ---- records: salvage as far as framing holds -----------------------
+    plee::wall_timer verify_timer;
+    double verify_ms = 0.0;
+    bool footer_ok = false;
+    bool damaged = false;
+    std::size_t off = k_header_size;
+    while (off < size) {
+        if (size - off < 5) {
+            damaged = true;
+            res.detail = "truncated record header at byte " + std::to_string(off);
+            break;
+        }
+        const std::size_t payload_len = get_u32(u + off);
+        const std::uint8_t type = u[off + 4];
+        if (payload_len > k_max_payload || size - off - 5 < payload_len + 8) {
+            // Hostile or torn length field: framing is gone, keep the prefix.
+            damaged = true;
+            res.detail = "unframeable record at byte " + std::to_string(off);
+            break;
+        }
+        const std::size_t body = off + 4;           // type byte + payload
+        const std::size_t cksum_at = body + 1 + payload_len;
+        const std::size_t next = cksum_at + 8;
+        ++res.records_seen;
+        if (checksum(data + body, 1 + payload_len) != get_u64(u + cksum_at)) {
+            // The record is corrupt but its claimed length was in bounds:
+            // count it, re-sync at the claimed boundary and let the next
+            // record's checksum arbitrate whether framing survived.
+            ++res.rejected;
+            damaged = true;
+            off = next;
+            continue;
+        }
+        if (type == k_rec_footer) {
+            --res.records_seen;  // the footer is framing, not cargo
+            if (payload_len != k_footer_payload) {
+                ++res.rejected;
+                damaged = true;
+                res.detail = "bad footer payload";
+            } else {
+                const std::uint64_t file_ck = get_u64(u + body + 1);
+                const std::uint64_t count = get_u64(u + body + 1 + 8);
+                if (file_ck == checksum(data, off) &&
+                    count == res.records_seen && next == size) {
+                    footer_ok = true;
+                } else {
+                    damaged = true;
+                    res.detail = next != size ? "trailing bytes after footer"
+                                              : "footer mismatch";
+                }
+            }
+            off = next;
+            break;
+        }
+        if (type == k_rec_fn) {
+            ee::cache_image::fn_entry e;
+            if (decode_fn(u + body + 1, payload_len, e)) {
+                res.image.fns.push_back(std::move(e));
+                ++res.loaded_fns;
+            } else {
+                ++res.rejected;
+                damaged = true;
+            }
+        } else if (type == k_rec_trigger) {
+            ee::cache_image::trig_entry e;
+            if (decode_trigger(u + body + 1, payload_len, e)) {
+                bool admit = true;
+                const bool check =
+                    opts.verify == verify_mode::full ||
+                    (opts.verify == verify_mode::sampled &&
+                     (ee::trigger_cache::mix_key(e.class_bits, e.support,
+                                                 e.num_vars) &
+                      0xF) == 0);
+                if (check) {
+                    // The oracle re-derives the exact trigger from the class
+                    // bits; a trigger that survives its checksum by chance
+                    // still cannot be admitted wrong.
+                    const double t0 = verify_timer.elapsed_ms();
+                    const bf::truth_table master(e.num_vars, e.class_bits);
+                    const bf::truth_table expect =
+                        opts.use_scalar_oracle
+                            ? ee::scalar::exact_trigger_function(master,
+                                                                 e.support)
+                            : ee::exact_trigger_function(master, e.support);
+                    verify_ms += verify_timer.elapsed_ms() - t0;
+                    ++res.verified;
+                    admit = expect == e.trigger;
+                }
+                if (admit) {
+                    res.image.triggers.push_back(std::move(e));
+                    ++res.loaded_triggers;
+                } else {
+                    ++res.rejected;
+                    damaged = true;
+                }
+            } else {
+                ++res.rejected;
+                damaged = true;
+            }
+        } else {
+            // Version gating happens in the header and this schema version
+            // writes no other record types, so an unknown type — even with a
+            // valid checksum — is corruption, not forward compatibility.
+            ++res.rejected;
+            damaged = true;
+        }
+        off = next;
+    }
+    if (off >= size && !footer_ok && res.detail.empty()) {
+        damaged = true;
+        res.detail = "missing footer";
+    }
+
+    res.verify_ms = verify_ms;
+    if (footer_ok && !damaged) {
+        res.outcome = load_outcome::clean;
+    } else if (res.loaded() > 0) {
+        res.outcome = load_outcome::salvaged;
+    } else {
+        res.outcome = load_outcome::cold;
+        if (res.detail.empty()) res.detail = "no records admitted";
+    }
+    return res;
+}
+
+void save_snapshot(const std::string& path, const ee::cache_image& image) {
+    plee::wall_timer timer;
+    // Throwing fates on cache.save fire before any byte is written — a
+    // failed save must leave the previous snapshot intact.
+    fault::injector::instance().check("cache.save", image.entries());
+    std::string bytes = encode_image(image);
+    const std::size_t keep = fault::injector::instance().torn_offset(
+        "cache.save", image.entries(), bytes.size());
+    if (keep < bytes.size()) bytes.resize(keep);
+    atomic_write_bytes(path, bytes);
+    obs::registry::global().get_counter("persist.saves").add();
+    obs::registry::global()
+        .get_histogram("persist.save_us")
+        .record(static_cast<std::uint64_t>(timer.elapsed_ms() * 1000.0));
+}
+
+load_result load_snapshot(const std::string& path, const load_options& opts) {
+    plee::wall_timer timer;
+    load_result res;
+    try {
+        fault::injector::instance().check("cache.load",
+                                          fault::injector::hash(path));
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            res.detail = "cannot open '" + path + "'";
+        } else {
+            std::string bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+            const std::size_t keep = fault::injector::instance().torn_offset(
+                "cache.load", fault::injector::hash(path), bytes.size());
+            if (keep < bytes.size()) bytes.resize(keep);
+            res = decode_image(bytes.data(), bytes.size(), opts);
+        }
+    } catch (const std::exception& e) {
+        // The loader's contract: file trouble (including injected faults)
+        // degrades to a cold start, never propagates.
+        res = load_result{};
+        res.outcome = load_outcome::cold;
+        res.detail = e.what();
+    }
+
+    obs::registry& reg = obs::registry::global();
+    reg.get_counter("persist.records_loaded").add(res.loaded());
+    reg.get_counter("persist.records_rejected").add(res.rejected);
+    switch (res.outcome) {
+        case load_outcome::clean: reg.get_counter("persist.loads_clean").add(); break;
+        case load_outcome::salvaged:
+            reg.get_counter("persist.loads_salvaged").add();
+            break;
+        case load_outcome::cold: reg.get_counter("persist.loads_cold").add(); break;
+    }
+    reg.get_histogram("persist.verify_us")
+        .record(static_cast<std::uint64_t>(res.verify_ms * 1000.0));
+    reg.get_histogram("persist.load_us")
+        .record(static_cast<std::uint64_t>(timer.elapsed_ms() * 1000.0));
+    return res;
+}
+
+void atomic_write_text(const std::string& path, const std::string& text) {
+    atomic_write_bytes(path, text);
+}
+
+}  // namespace plee::persist

@@ -1,0 +1,178 @@
+// snapshot.hpp — durable, crash-safe trigger-cache snapshots.
+//
+// The NPN-canonical trigger memo is the fleet's expensive artifact: every
+// cold process start re-pays the 768-variant LUT4 orbit sweeps and the
+// LUT7/LUT8 identity-form walls.  This layer serializes a cache image
+// (see ee/cache_image.hpp) to disk and back so restarts — and other hosts,
+// via merge — start warm.
+//
+// Two design rules dominate everything here:
+//
+//   1. **The file is untrusted input.**  A snapshot may have been torn by a
+//      crash mid-write, bit-flipped by a bad disk, truncated by a full
+//      filesystem, or written by a future version of this code.  The loader
+//      therefore never throws on file content: every failure mode degrades
+//      to "salvage the valid prefix" or "start cold", reported through
+//      load_result with typed error text and obs counters.  A record is
+//      admitted only after its checksum, its field-level bounds, and (for
+//      canonicalization records) an algebraic self-consistency check pass.
+//   2. **A flipped bit may cost hit rate, never correctness.**  Trigger
+//      records are re-verified against the exact trigger oracle
+//      (ee::exact_trigger_function, optionally the scalar reference) before
+//      admission — by default every record (`verify_mode::full`; the oracle
+//      is tens of ns per trigger, far cheaper than the canonicalization the
+//      cache exists to avoid).  A corrupt record that survives its checksum
+//      by chance is still rejected here, so the memo can never serve a
+//      wrong trigger.  Canonicalization records are always checked for
+//      self-consistency (applying the stored transform to the stored
+//      concrete bits must reproduce the stored canonical bits), which makes
+//      them result-correct by construction: a consistent-but-wrong form
+//      would only fragment class sharing, not change any trigger.
+//
+// Writes are atomic: encode to memory, write a same-directory temp file,
+// fsync it, rename over the target, fsync the directory.  A crash at any
+// point leaves either the old snapshot or the new one, never a hybrid.
+//
+// Binary format (all integers little-endian; FNV-1a 64 checksums):
+//
+//   header (32 bytes):
+//     0   magic            "PLEESNAP" (8 bytes)
+//     8   schema_version   u32 (currently 1; newer => clean cold start)
+//     12  endian_tag       u32 0x01020304 as written by a little-endian host
+//     16  canon_mode       u8  (0 = P, 1 = NPN)
+//     17  reserved         3 bytes, zero
+//     20  pad              4 bytes, zero
+//     24  header_checksum  u64 FNV-1a over bytes [0, 24)
+//
+//   records, back to back:
+//     u32 payload_len; u8 type; payload[payload_len];
+//     u64 record_checksum   — FNV-1a over the type byte + payload
+//
+//   record types:
+//     1 = canonicalization (function -> canonical_form):
+//         u8 num_vars; u8 output_neg; u8 pad[2]; u32 input_neg;
+//         u8 perm[8]; u64 concrete_bits[words_for(nv)];
+//         u64 canon_bits[words_for(nv)]
+//     2 = trigger ((class bits, support) -> exact trigger):
+//         u8 num_vars; u8 trig_vars; u8 pad[2]; u32 support;
+//         u64 class_bits[words_for(nv)]; u64 trig_bits[words_for(tv)]
+//     255 = footer (must be last):
+//         u64 file_checksum   — FNV-1a over every byte before this record
+//         u64 record_count    — non-footer records written
+//
+// The payload length field is *not* covered by the record checksum, so a
+// flipped length bit can break framing; the loader bounds every length,
+// re-syncs through the claimed length once, and otherwise stops at the last
+// good record — the salvage-the-prefix guarantee.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ee/cache_image.hpp"
+#include "rt/errors.hpp"
+
+namespace plee::persist {
+
+inline constexpr char k_snapshot_magic[8] = {'P', 'L', 'E', 'E',
+                                             'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t k_snapshot_schema_version = 1;
+inline constexpr std::uint32_t k_endian_tag = 0x01020304u;
+inline constexpr std::size_t k_header_size = 32;
+
+/// Snapshot I/O failure (save path only — the loader never throws on file
+/// content).  Classified transient: disk-full / permission races are
+/// environmental, and a fleet that fails to persist its cache still
+/// completed its work.
+class snapshot_error : public plee_error {
+public:
+    explicit snapshot_error(const std::string& what)
+        : plee_error(what, failure_class::transient) {}
+};
+
+/// How hard load verifies trigger records against the exact oracle.
+enum class verify_mode : std::uint8_t {
+    off,      ///< checksums + bounds + self-consistency only
+    sampled,  ///< oracle-check 1 in 16 trigger records (keyed, deterministic)
+    full,     ///< oracle-check every trigger record (default)
+};
+
+const char* to_string(verify_mode v);
+/// Parses "off" / "sampled" / "full"; throws std::invalid_argument else.
+verify_mode parse_verify_mode(const std::string& s);
+
+struct load_options {
+    verify_mode verify = verify_mode::full;
+    /// Verify against the scalar reference oracle instead of the
+    /// word-parallel one (slower; for torture tests and paranoia).
+    bool use_scalar_oracle = false;
+    /// Canonicalization mode the receiving cache uses; a snapshot written
+    /// under the other mode cold-starts (its entries would never be hit).
+    ee::canon_mode expected_mode = ee::canon_mode::npn;
+};
+
+enum class load_outcome : std::uint8_t {
+    clean,     ///< footer verified, every record admitted
+    salvaged,  ///< damage encountered, a valid prefix was admitted
+    cold,      ///< nothing usable (missing/bad header/newer version/empty)
+};
+
+const char* to_string(load_outcome o);
+
+struct load_result {
+    load_outcome outcome = load_outcome::cold;
+    ee::cache_image image;           ///< admitted entries only
+    std::uint64_t records_seen = 0;  ///< records the framing loop visited
+    std::uint64_t loaded_fns = 0;
+    std::uint64_t loaded_triggers = 0;
+    std::uint64_t rejected = 0;  ///< records dropped (checksum/bounds/oracle)
+    std::uint64_t verified = 0;  ///< triggers oracle-checked
+    std::uint64_t bytes = 0;     ///< file size observed
+    double verify_ms = 0.0;      ///< wall time spent in the oracle checks
+    /// Human-readable reason when outcome != clean ("truncated at byte
+    /// 1412", "schema version 3 > 1"); empty on clean loads.
+    std::string detail;
+
+    std::uint64_t loaded() const { return loaded_fns + loaded_triggers; }
+};
+
+/// Serializes an image to the snapshot wire format (header + records +
+/// footer).  Deterministic given the image's entry order.
+std::string encode_image(const ee::cache_image& image);
+
+/// Decodes snapshot bytes into validated entries — the pure core of
+/// load_snapshot, exposed so tests can torture it byte-by-byte without
+/// touching a filesystem.  Never throws on content.
+load_result decode_image(const char* data, std::size_t size,
+                         const load_options& opts = {});
+
+/// Atomically writes `image` to `path`: encode, temp file in the same
+/// directory, fsync, rename, fsync directory.  An existing good snapshot is
+/// never clobbered by a partial write.  Throws snapshot_error on I/O
+/// failure (and consults the "cache.save" fault point: throwing fates raise
+/// before any write, the ':torn' fate truncates the encoded buffer at a
+/// seeded offset and then commits the rename normally — a silently torn
+/// file, which is exactly what the loader must survive).
+void save_snapshot(const std::string& path, const ee::cache_image& image);
+
+/// Loads and validates a snapshot.  Never throws: a missing file, a bad
+/// header, a newer schema version or any corruption degrade to cold or
+/// salvaged per the rules above.  Consults the "cache.load" fault point
+/// (throwing fates are caught and reported as a cold start; ':torn'
+/// truncates the bytes read at a seeded offset before decoding).
+load_result load_snapshot(const std::string& path,
+                          const load_options& opts = {});
+
+/// FNV-1a 64 over a byte range — the snapshot checksum, exposed so tests
+/// can forge valid checksums around deliberately corrupt payloads.
+std::uint64_t checksum(const char* data, std::size_t size);
+
+/// Atomically replaces `path` with `text` via the same temp + fsync +
+/// rename discipline as save_snapshot.  The tools route every artifact sink
+/// (--metrics-out, --trace-out, fleet JSON) through this so an interrupt
+/// never leaves a half-written file.  Throws snapshot_error on I/O failure.
+void atomic_write_text(const std::string& path, const std::string& text);
+
+}  // namespace plee::persist

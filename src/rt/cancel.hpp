@@ -12,6 +12,13 @@
 // The flag is monotonic (set-once); the deadline is fixed before the job
 // starts.  Polling costs one relaxed atomic load; steady_clock::now() is
 // only consulted when a deadline is armed.
+//
+// Tokens chain: a per-job token may name a parent (the fleet-wide interrupt
+// token a SIGINT handler trips), and expired() consults the parent too.
+// Tripping one parent therefore stops every job in the fleet at its next
+// poll without the supervisor having to track per-job token pointers from a
+// signal handler — the handler performs one atomic store, which is
+// async-signal-safe.
 
 #pragma once
 
@@ -39,15 +46,21 @@ public:
         has_deadline_ = true;
     }
 
-    /// Requests cancellation (idempotent, thread-safe).
+    /// Requests cancellation (idempotent, thread-safe, async-signal-safe).
     void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
     bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
-    /// True once cancelled or past the deadline — the poll the pipeline
-    /// stages call.
+    /// Chains this token under `parent`: expired() reports true once either
+    /// token trips.  Set before the job starts (not thread-safe against
+    /// concurrent polls); the parent must outlive this token.
+    void set_parent(const cancel_token* parent) { parent_ = parent; }
+
+    /// True once cancelled (here or in a parent) or past the deadline — the
+    /// poll the pipeline stages call.
     bool expired() const {
         if (cancelled()) return true;
+        if (parent_ != nullptr && parent_->expired()) return true;
         return has_deadline_ && clock::now() >= deadline_;
     }
 
@@ -55,6 +68,7 @@ private:
     std::atomic<bool> cancelled_{false};
     bool has_deadline_ = false;
     clock::time_point deadline_{};
+    const cancel_token* parent_ = nullptr;
 };
 
 }  // namespace plee

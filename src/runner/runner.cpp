@@ -49,6 +49,9 @@ void run_job(const fleet_job& job, const report::experiment_options& experiment,
         if (options.job_deadline_ms > 0.0) {
             token.set_deadline_after_ms(options.job_deadline_ms);
         }
+        // Chain under the fleet-wide interrupt token: a SIGINT cancels this
+        // attempt at its next cooperative poll, same path as a deadline.
+        token.set_parent(options.fleet_cancel);
         report::experiment_options opts = experiment;
         opts.cancel = &token;
         opts.fault_context = job.id + "#" + std::to_string(attempt);
@@ -127,6 +130,15 @@ void fleet_worker(const std::vector<fleet_job>& jobs,
     for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs.size()) return;
+        if (options.fleet_cancel != nullptr && options.fleet_cancel->expired()) {
+            // Interrupted fleet: don't even start the remaining jobs; give
+            // them the same terminal status an in-flight cancel produces.
+            results[i].id = jobs[i].id;
+            results[i].status = job_status::timed_out;
+            results[i].error = "fleet interrupted before job started";
+            results[i].attempts = 0;
+            continue;
+        }
         run_job(jobs[i], experiment, options, results[i], errors[i]);
     }
 }
@@ -167,9 +179,33 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
     fleet.threads = threads;
     fleet.shared_cache = options.share_trigger_cache;
     fleet.results.resize(jobs.size());
+    if (!options.share_trigger_cache &&
+        (!options.cache_load_path.empty() || !options.cache_save_path.empty())) {
+        throw std::invalid_argument(
+            "run_fleet: cache_load_path/cache_save_path require "
+            "share_trigger_cache (private per-job memos have no fleet-wide "
+            "cache to persist)");
+    }
     if (jobs.empty()) return fleet;
 
     ee::concurrent_trigger_cache shared_cache;
+    // Warm restart: merge a prior snapshot into the shared memo before any
+    // worker starts.  Every degradation (missing file, torn record, flipped
+    // bit, future version) is a smaller-or-empty merge, never a failure.
+    if (!options.cache_load_path.empty()) {
+        persist::load_options lo;
+        lo.verify = options.cache_verify;
+        lo.expected_mode = shared_cache.mode();
+        const persist::load_result loaded =
+            persist::load_snapshot(options.cache_load_path, lo);
+        fleet.cache_loaded = loaded.loaded();
+        fleet.cache_rejected = loaded.rejected;
+        fleet.cache_salvaged = loaded.outcome == persist::load_outcome::salvaged
+                                   ? loaded.loaded()
+                                   : 0;
+        fleet.cache_load_outcome = persist::to_string(loaded.outcome);
+        if (loaded.loaded() > 0) shared_cache.merge_from_snapshot(loaded.image);
+    }
     report::experiment_options experiment = options.experiment;
     experiment.ee.num_threads = std::max(options.ee_threads_per_job, 1u);
     experiment.ee.shared_cache =
@@ -193,6 +229,20 @@ fleet_result run_fleet(const std::vector<fleet_job>& jobs,
         for (std::thread& t : pool) t.join();
     }
     fleet.wall_ms = timer.elapsed_ms();
+
+    // Persist the warmed memo after the join — also on interrupted or
+    // partially-failed fleets (the cache holds only verified pure-function
+    // entries regardless of job outcomes).  Atomic rename means a crash or
+    // failure here never clobbers the previous snapshot; the error is
+    // reported, not thrown, because the fleet's results are already in hand.
+    if (!options.cache_save_path.empty()) {
+        try {
+            persist::save_snapshot(options.cache_save_path,
+                                   shared_cache.export_image());
+        } catch (const std::exception& e) {
+            fleet.cache_save_error = e.what();
+        }
+    }
 
     if (options.fail_fast) {
         for (const std::exception_ptr& e : errors) {
@@ -304,6 +354,20 @@ report::json to_json(const fleet_result& fleet, bool include_rows) {
           report::json::number(static_cast<std::int64_t>(fleet.cache_misses)));
     j.set("cache_entries", report::json::number(fleet.cache_entries));
     j.set("cache_hit_rate", report::json::number(fleet.cache_hit_rate()));
+    // Warm-restart accounting (additive fields — no schema bump; all zero
+    // when no snapshot load ran).
+    j.set("cache_loaded",
+          report::json::number(static_cast<std::int64_t>(fleet.cache_loaded)));
+    j.set("cache_salvaged",
+          report::json::number(static_cast<std::int64_t>(fleet.cache_salvaged)));
+    j.set("cache_rejected",
+          report::json::number(static_cast<std::int64_t>(fleet.cache_rejected)));
+    if (!fleet.cache_load_outcome.empty()) {
+        j.set("cache_load_outcome", report::json::str(fleet.cache_load_outcome));
+    }
+    if (!fleet.cache_save_error.empty()) {
+        j.set("cache_save_error", report::json::str(fleet.cache_save_error));
+    }
     if (!fleet.delay_hist_no_ee.empty()) {
         j.set("delay_hist_no_ee_ns",
               obs::hist_to_json(fleet.delay_hist_no_ee, 1e3));

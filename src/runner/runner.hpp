@@ -37,7 +37,9 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/histogram.hpp"
 #include "obs/span.hpp"
+#include "persist/snapshot.hpp"
 #include "report/experiment.hpp"
+#include "rt/cancel.hpp"
 
 namespace plee::runner {
 
@@ -118,6 +120,24 @@ struct fleet_options {
     /// compiled in but unwired — the baseline arm of the instrumentation
     /// overhead A/B in bench_fleet_scaling.
     bool telemetry = true;
+    /// Warm-restart persistence for the shared trigger cache (see
+    /// src/persist/): load this snapshot into the cache before fan-out
+    /// (missing/corrupt files degrade to salvage or cold start, never an
+    /// error) ...
+    std::string cache_load_path;
+    /// ... and atomically save the cache here after the join (failures land
+    /// in fleet_result::cache_save_error, not an exception).  Both require
+    /// share_trigger_cache — run_fleet throws std::invalid_argument
+    /// otherwise, since private per-job caches have no fleet-wide memo to
+    /// persist.
+    std::string cache_save_path;
+    /// Oracle re-verification level for loaded trigger records.
+    persist::verify_mode cache_verify = persist::verify_mode::full;
+    /// Fleet-wide interrupt token (the tools' SIGINT/SIGTERM hook): chained
+    /// as the parent of every per-attempt job token, and polled between
+    /// jobs, so one cancel() stops the whole fleet at its next checks.
+    /// Must outlive run_fleet.
+    const cancel_token* fleet_cancel = nullptr;
 };
 
 struct job_result {
@@ -190,6 +210,18 @@ struct fleet_result {
     /// would double-count every shared class; the max is an exact figure for
     /// identical jobs and a distinct-entry lower bound otherwise.
     std::size_t cache_entries = 0;
+    /// Snapshot warm-restart accounting (all zero when no --cache-load ran):
+    /// records admitted into the shared cache, records admitted from a
+    /// *damaged* snapshot (== cache_loaded when the load salvaged, 0 on a
+    /// clean load), and records dropped by checksums/bounds/oracle checks.
+    std::uint64_t cache_loaded = 0;
+    std::uint64_t cache_salvaged = 0;
+    std::uint64_t cache_rejected = 0;
+    /// "clean" / "salvaged" / "cold" when a load was requested; empty else.
+    std::string cache_load_outcome;
+    /// what() of a failed cache save; empty when the save succeeded or none
+    /// was requested.  A failed save never fails the fleet.
+    std::string cache_save_error;
 
     double cache_hit_rate() const {
         const std::uint64_t total = cache_hits + cache_misses;

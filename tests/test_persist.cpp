@@ -1,0 +1,524 @@
+// Tests for the durable trigger-cache snapshot layer (src/persist/): wire
+// round-trips, merge algebra, and above all the untrusted-input contract —
+// truncation at every byte boundary, seeded bit flips, hostile lengths and
+// checksum-forged tampering must degrade to salvage-or-cold without a crash,
+// and a record the loader admits must be oracle-exact.  File-level tests
+// cover atomic saves, the cache.save/cache.load torn-write fates, and the
+// fleet warm-restart path end to end.
+
+#include "persist/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ee/cache_image.hpp"
+#include "ee/concurrent_cache.hpp"
+#include "ee/trigger_cache.hpp"
+#include "ee/trigger_search.hpp"
+#include "fault/injector.hpp"
+#include "runner/runner.hpp"
+#include "workload/workload.hpp"
+
+namespace plee::persist {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Populates a real cache through its public lookup path (so the image holds
+/// genuine canonicalization results and oracle-exact triggers) and exports.
+ee::cache_image sample_image(std::uint64_t seed, int num_functions,
+                             ee::canon_mode mode = ee::canon_mode::npn) {
+    ee::trigger_cache cache(mode);
+    for (int i = 0; i < num_functions; ++i) {
+        const std::uint64_t bits = splitmix64(seed + i) & 0xFFFFull;
+        const bf::truth_table master(4, bits);
+        for (const std::uint32_t support : {0b0011u, 0b0110u, 0b1101u}) {
+            cache.exact(master, support);
+        }
+    }
+    return cache.export_image();
+}
+
+/// The admitted-entry correctness bar: every trigger record the loader let
+/// through must equal the exact oracle — a flipped bit may cost hit rate,
+/// never correctness.
+void expect_admitted_triggers_exact(const load_result& res) {
+    for (const auto& e : res.image.triggers) {
+        const bf::truth_table master(e.num_vars, e.class_bits);
+        EXPECT_EQ(ee::exact_trigger_function(master, e.support), e.trigger);
+    }
+}
+
+/// Scratch directory per test; removed on teardown.
+class PersistFile : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("plee_persist_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override {
+        fault::injector::instance().clear();
+        std::filesystem::remove_all(dir_);
+    }
+    std::string path(const char* name) const { return (dir_ / name).string(); }
+
+    std::filesystem::path dir_;
+};
+
+// --- Wire round-trips -------------------------------------------------------
+
+TEST(PersistWire, RoundTripIsCleanAndComplete) {
+    const ee::cache_image image = sample_image(1, 24);
+    ASSERT_GT(image.fns.size(), 0u);
+    ASSERT_GT(image.triggers.size(), 0u);
+
+    const std::string bytes = encode_image(image);
+    const load_result res = decode_image(bytes.data(), bytes.size());
+    EXPECT_EQ(res.outcome, load_outcome::clean);
+    EXPECT_EQ(res.loaded_fns, image.fns.size());
+    EXPECT_EQ(res.loaded_triggers, image.triggers.size());
+    EXPECT_EQ(res.rejected, 0u);
+    EXPECT_TRUE(res.detail.empty()) << res.detail;
+    EXPECT_EQ(res.verified, res.loaded_triggers);  // default verify is full
+    expect_admitted_triggers_exact(res);
+}
+
+TEST(PersistWire, EmptyImageRoundTripsClean) {
+    const std::string bytes = encode_image(ee::cache_image{});
+    const load_result res = decode_image(bytes.data(), bytes.size());
+    EXPECT_EQ(res.outcome, load_outcome::clean);
+    EXPECT_EQ(res.loaded(), 0u);
+}
+
+TEST(PersistWire, SampledVerifyChecksSubset) {
+    const ee::cache_image image = sample_image(2, 32);
+    const std::string bytes = encode_image(image);
+    load_options opts;
+    opts.verify = verify_mode::sampled;
+    const load_result res = decode_image(bytes.data(), bytes.size(), opts);
+    EXPECT_EQ(res.outcome, load_outcome::clean);
+    EXPECT_LT(res.verified, res.loaded_triggers);
+}
+
+TEST(PersistWire, VerifyModeParsing) {
+    EXPECT_EQ(parse_verify_mode("off"), verify_mode::off);
+    EXPECT_EQ(parse_verify_mode("sampled"), verify_mode::sampled);
+    EXPECT_EQ(parse_verify_mode("full"), verify_mode::full);
+    EXPECT_THROW(parse_verify_mode("paranoid"), std::invalid_argument);
+}
+
+// --- Header gates -----------------------------------------------------------
+
+TEST(PersistWire, BadMagicColdStarts) {
+    std::string bytes = encode_image(sample_image(3, 8));
+    bytes[0] = 'X';
+    const load_result res = decode_image(bytes.data(), bytes.size());
+    EXPECT_EQ(res.outcome, load_outcome::cold);
+    EXPECT_EQ(res.loaded(), 0u);
+}
+
+TEST(PersistWire, NewerSchemaVersionColdStartsCleanly) {
+    std::string bytes = encode_image(sample_image(4, 8));
+    // Bump the version field and re-forge the header checksum so the *only*
+    // anomaly is the version: the reader must refuse bytes written by a
+    // future writer even when they are pristine.
+    const std::uint32_t newer = k_snapshot_schema_version + 1;
+    std::memcpy(&bytes[8], &newer, 4);
+    const std::uint64_t h = checksum(bytes.data(), 24);
+    std::memcpy(&bytes[24], &h, 8);
+    const load_result res = decode_image(bytes.data(), bytes.size());
+    EXPECT_EQ(res.outcome, load_outcome::cold);
+    EXPECT_EQ(res.loaded(), 0u);
+    EXPECT_NE(res.detail.find("version"), std::string::npos) << res.detail;
+}
+
+TEST(PersistWire, CanonModeMismatchColdStarts) {
+    const ee::cache_image image = sample_image(5, 8, ee::canon_mode::p);
+    const std::string bytes = encode_image(image);
+    load_options opts;  // expected_mode defaults to npn
+    const load_result res = decode_image(bytes.data(), bytes.size(), opts);
+    EXPECT_EQ(res.outcome, load_outcome::cold);
+    EXPECT_EQ(res.loaded(), 0u);
+}
+
+// --- The torture matrix -----------------------------------------------------
+
+TEST(PersistTorture, TruncationAtEveryByteSalvagesOrColdStarts) {
+    const ee::cache_image image = sample_image(6, 12);
+    const std::string bytes = encode_image(image);
+    const std::uint64_t total = image.entries();
+
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const load_result res = decode_image(bytes.data(), len);
+        EXPECT_NE(res.outcome, load_outcome::clean)
+            << "truncation to " << len << " bytes decoded clean";
+        EXPECT_LE(res.loaded(), total);
+        if (len < k_header_size) {
+            EXPECT_EQ(res.outcome, load_outcome::cold) << "at length " << len;
+        }
+        if (res.loaded() > 0) {
+            EXPECT_EQ(res.outcome, load_outcome::salvaged) << "at length " << len;
+        }
+        expect_admitted_triggers_exact(res);
+    }
+    // The full file still decodes clean (the loop above never mutated it).
+    EXPECT_EQ(decode_image(bytes.data(), bytes.size()).outcome,
+              load_outcome::clean);
+}
+
+TEST(PersistTorture, SeededBitFlipsNeverCrashOrCorrupt) {
+    const ee::cache_image image = sample_image(7, 12);
+    const std::string clean_bytes = encode_image(image);
+    const std::uint64_t total = image.entries();
+
+    for (std::uint64_t trial = 0; trial < 96; ++trial) {
+        std::string bytes = clean_bytes;
+        const std::uint64_t bit =
+            splitmix64(0xf11aull + trial) % (bytes.size() * 8);
+        bytes[bit / 8] = static_cast<char>(bytes[bit / 8] ^ (1u << (bit % 8)));
+
+        const load_result res = decode_image(bytes.data(), bytes.size());
+        // Every byte is covered by the header, record or footer checksum
+        // except the framing length fields, whose damage breaks framing —
+        // a single flipped bit can therefore never decode clean.
+        EXPECT_NE(res.outcome, load_outcome::clean) << "flipped bit " << bit;
+        EXPECT_LE(res.loaded(), total);
+        expect_admitted_triggers_exact(res);
+    }
+}
+
+TEST(PersistTorture, HostileLengthFieldSalvagesPrefix) {
+    const ee::cache_image image = sample_image(8, 12);
+    std::string bytes = encode_image(image);
+    // Overwrite the first record's payload length with a huge value: the
+    // claimed extent runs past EOF and past the length cap.  Framing is
+    // unrecoverable at that point, but the damage is at record 0 — the
+    // loader must stop without crashing and report a non-clean outcome.
+    const std::uint32_t hostile = 0xFFFFFFFFu;
+    std::memcpy(&bytes[k_header_size], &hostile, 4);
+    const load_result res = decode_image(bytes.data(), bytes.size());
+    EXPECT_NE(res.outcome, load_outcome::clean);
+    EXPECT_EQ(res.loaded(), 0u);
+    expect_admitted_triggers_exact(res);
+
+    // A *plausible* wrong length (small, in-bounds) must at worst drop the
+    // records it mis-frames: the loader re-syncs or stops, never crashes.
+    std::string bytes2 = encode_image(image);
+    const std::uint32_t shifted = 8;
+    std::memcpy(&bytes2[k_header_size], &shifted, 4);
+    const load_result res2 = decode_image(bytes2.data(), bytes2.size());
+    EXPECT_NE(res2.outcome, load_outcome::clean);
+    EXPECT_LE(res2.loaded(), image.entries());
+    expect_admitted_triggers_exact(res2);
+}
+
+TEST(PersistTorture, TrailingGarbageAfterFooterIsDamage) {
+    const ee::cache_image image = sample_image(9, 8);
+    std::string bytes = encode_image(image);
+    bytes += "garbage";
+    const load_result res = decode_image(bytes.data(), bytes.size());
+    EXPECT_NE(res.outcome, load_outcome::clean);
+    expect_admitted_triggers_exact(res);
+}
+
+// A tampered trigger whose record checksum has been *re-forged* passes every
+// integrity gate — only the oracle re-verification can catch it.  This is
+// the test that justifies verify_mode::full as the default.
+TEST(PersistTorture, ForgedChecksumTamperCaughtByOracleOnly) {
+    const ee::cache_image image = sample_image(10, 12);
+    std::string bytes = encode_image(image);
+
+    // Walk the frames to the first trigger record.
+    std::size_t off = k_header_size;
+    std::size_t trig_off = 0;
+    while (off + 5 <= bytes.size()) {
+        std::uint32_t len;
+        std::memcpy(&len, &bytes[off], 4);
+        const std::uint8_t type = static_cast<std::uint8_t>(bytes[off + 4]);
+        if (type == 2) {
+            trig_off = off;
+            break;
+        }
+        off += 4 + 1 + len + 8;
+    }
+    ASSERT_NE(trig_off, 0u) << "no trigger record found";
+
+    std::uint32_t len;
+    std::memcpy(&len, &bytes[trig_off], 4);
+    // Payload layout: u8 nv, u8 tv, u8 pad[2], u32 support,
+    // class_bits[words_for(nv)], trig_bits[words_for(tv)].  Flip the lowest
+    // bit of the trigger table — in-range for any arity, so field bounds
+    // stay satisfied and only the oracle can notice.
+    const std::size_t payload = trig_off + 5;
+    const int nv = static_cast<std::uint8_t>(bytes[payload]);
+    const std::size_t trig_bits_off = payload + 8 + 8 * bf::words_for(nv);
+    bytes[trig_bits_off] = static_cast<char>(bytes[trig_bits_off] ^ 1u);
+
+    // Forge the record checksum over (type byte + payload)...
+    const std::uint64_t rec_sum = checksum(&bytes[trig_off + 4], 1 + len);
+    std::memcpy(&bytes[trig_off + 4 + 1 + len], &rec_sum, 8);
+
+    // ...and the footer: last record, payload = file checksum over all bytes
+    // before the footer + record count.
+    std::size_t footer_off = k_header_size;
+    while (true) {
+        std::uint32_t flen;
+        std::memcpy(&flen, &bytes[footer_off], 4);
+        if (static_cast<std::uint8_t>(bytes[footer_off + 4]) == 255) break;
+        footer_off += 4 + 1 + flen + 8;
+        ASSERT_LT(footer_off + 5, bytes.size());
+    }
+    const std::uint64_t file_sum = checksum(bytes.data(), footer_off);
+    std::memcpy(&bytes[footer_off + 5], &file_sum, 8);
+    const std::uint64_t foot_sum = checksum(&bytes[footer_off + 4], 1 + 16);
+    std::memcpy(&bytes[footer_off + 4 + 1 + 16], &foot_sum, 8);
+
+    // verify=off admits the forged record: integrity checks all pass.
+    load_options off_opts;
+    off_opts.verify = verify_mode::off;
+    const load_result lax = decode_image(bytes.data(), bytes.size(), off_opts);
+    EXPECT_EQ(lax.outcome, load_outcome::clean);
+    EXPECT_EQ(lax.rejected, 0u);
+
+    // verify=full rejects exactly the tampered record.
+    const load_result strict = decode_image(bytes.data(), bytes.size());
+    EXPECT_EQ(strict.outcome, load_outcome::salvaged);
+    EXPECT_EQ(strict.rejected, 1u);
+    EXPECT_EQ(strict.loaded(), image.entries() - 1);
+    expect_admitted_triggers_exact(strict);
+}
+
+// --- Merge algebra ----------------------------------------------------------
+
+TEST(PersistMerge, UnionIsOrderIndependent) {
+    const ee::cache_image a = sample_image(11, 10);
+    const ee::cache_image b = sample_image(12, 10);
+
+    ee::trigger_cache ab;
+    ab.merge_from_snapshot(a);
+    ab.merge_from_snapshot(b);
+    ee::trigger_cache ba;
+    ba.merge_from_snapshot(b);
+    ba.merge_from_snapshot(a);
+    EXPECT_EQ(ab.size(), ba.size());
+    EXPECT_EQ(ab.canonicalized_masters(), ba.canonicalized_masters());
+
+    // Merging an image into a cache that already holds it is a no-op union.
+    ee::trigger_cache twice;
+    twice.merge_from_snapshot(a);
+    const std::size_t once = twice.size();
+    twice.merge_from_snapshot(a);
+    EXPECT_EQ(twice.size(), once);
+
+    // Every master from either source now hits without a single miss.
+    for (const std::uint64_t seed : {11ull, 12ull}) {
+        for (int i = 0; i < 10; ++i) {
+            const bf::truth_table master(4, splitmix64(seed + i) & 0xFFFFull);
+            for (const std::uint32_t support : {0b0011u, 0b0110u, 0b1101u}) {
+                EXPECT_EQ(ab.exact(master, support),
+                          ee::exact_trigger_function(master, support));
+            }
+        }
+    }
+    EXPECT_EQ(ab.misses(), 0u);
+}
+
+TEST(PersistMerge, ModeMismatchThrowsLogicError) {
+    const ee::cache_image p_image = sample_image(13, 4, ee::canon_mode::p);
+    ee::trigger_cache npn_cache(ee::canon_mode::npn);
+    EXPECT_THROW(npn_cache.merge_from_snapshot(p_image), std::logic_error);
+}
+
+TEST(PersistMerge, ConcurrentMergeDuringLookups) {
+    // TSan witness: one thread merges a snapshot into the shared cache while
+    // three others hammer lookups over an overlapping key set.
+    const ee::cache_image image = sample_image(14, 32);
+    ee::concurrent_trigger_cache cache;
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] { cache.merge_from_snapshot(image); });
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 32; ++i) {
+                const bf::truth_table master(
+                    4, splitmix64(14 + (i + t) % 32) & 0xFFFFull);
+                EXPECT_EQ(cache.exact(master, 0b0110u),
+                          ee::exact_trigger_function(master, 0b0110u));
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+}
+
+// --- Files, atomicity, fault fates ------------------------------------------
+
+TEST_F(PersistFile, SaveThenLoadIsClean) {
+    const ee::cache_image image = sample_image(15, 16);
+    const std::string snap = path("cache.snap");
+    save_snapshot(snap, image);
+
+    const load_result res = load_snapshot(snap);
+    EXPECT_EQ(res.outcome, load_outcome::clean);
+    EXPECT_EQ(res.loaded(), image.entries());
+    // The temp file was renamed away, not left behind.
+    std::size_t files = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+        (void)e;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST_F(PersistFile, MissingFileColdStartsWithoutThrowing) {
+    const load_result res = load_snapshot(path("never_written.snap"));
+    EXPECT_EQ(res.outcome, load_outcome::cold);
+    EXPECT_EQ(res.loaded(), 0u);
+    EXPECT_FALSE(res.detail.empty());
+}
+
+TEST_F(PersistFile, SaveToBadDirectoryThrowsSnapshotError) {
+    const ee::cache_image image = sample_image(16, 4);
+    try {
+        save_snapshot(path("no/such/dir/cache.snap"), image);
+        FAIL() << "save into a missing directory succeeded";
+    } catch (const snapshot_error& e) {
+        EXPECT_EQ(e.classify(), failure_class::transient);
+    }
+}
+
+TEST_F(PersistFile, FailedSaveNeverClobbersGoodSnapshot) {
+    const std::string snap = path("cache.snap");
+    save_snapshot(snap, sample_image(17, 16));
+    const load_result before = load_snapshot(snap);
+    ASSERT_EQ(before.outcome, load_outcome::clean);
+
+    // Arm a throwing fate on the save point: the save must fail *before*
+    // touching the committed file.
+    fault::injector& inj = fault::injector::instance();
+    inj.configure("seed=1;cache.save=1");
+    EXPECT_THROW(save_snapshot(snap, sample_image(18, 4)), plee_error);
+    inj.clear();
+
+    const load_result after = load_snapshot(snap);
+    EXPECT_EQ(after.outcome, load_outcome::clean);
+    EXPECT_EQ(after.loaded(), before.loaded());
+}
+
+TEST_F(PersistFile, TornSaveFateYieldsSalvageableFile) {
+    const ee::cache_image image = sample_image(19, 16);
+    const std::string snap = path("torn.snap");
+    fault::injector& inj = fault::injector::instance();
+    inj.configure("seed=9;cache.save=1:torn");
+    // Torn is data corruption, not failure: the save itself must succeed.
+    EXPECT_NO_THROW(save_snapshot(snap, image));
+    inj.clear();
+
+    const load_result res = load_snapshot(snap);
+    EXPECT_NE(res.outcome, load_outcome::clean);
+    EXPECT_LE(res.loaded(), image.entries());
+    expect_admitted_triggers_exact(res);
+}
+
+TEST_F(PersistFile, TornLoadFateTruncatesTheRead) {
+    const ee::cache_image image = sample_image(20, 16);
+    const std::string snap = path("good.snap");
+    save_snapshot(snap, image);
+
+    fault::injector& inj = fault::injector::instance();
+    inj.configure("seed=4;cache.load=1:torn");
+    const load_result torn = load_snapshot(snap);
+    inj.clear();
+    EXPECT_NE(torn.outcome, load_outcome::clean);
+    EXPECT_LE(torn.loaded(), image.entries());
+
+    // The file itself is intact — only the read was torn.
+    EXPECT_EQ(load_snapshot(snap).outcome, load_outcome::clean);
+}
+
+// --- Fleet warm restart ------------------------------------------------------
+
+TEST_F(PersistFile, FleetWarmRestartIsBitIdenticalAndFullyWarm) {
+    const std::string snap = path("fleet.snap");
+    std::vector<runner::fleet_job> jobs;
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+        runner::fleet_job job;
+        job.id = "wl" + std::to_string(seed);
+        job.netlist = wl::generate(
+            wl::scenario_params(wl::scenario::random_dag, 40, seed));
+        jobs.push_back(std::move(job));
+    }
+
+    runner::fleet_options cold;
+    cold.num_threads = 2;
+    cold.experiment.measure.num_vectors = 25;
+    cold.cache_save_path = snap;
+    const runner::fleet_result a = runner::run_fleet(jobs, cold);
+    ASSERT_TRUE(a.all_ok());
+    ASSERT_TRUE(a.cache_save_error.empty()) << a.cache_save_error;
+    ASSERT_GT(a.cache_misses, 0u);
+
+    runner::fleet_options warm = cold;
+    warm.cache_save_path.clear();
+    warm.cache_load_path = snap;
+    const runner::fleet_result b = runner::run_fleet(jobs, warm);
+    ASSERT_TRUE(b.all_ok());
+    EXPECT_EQ(b.cache_load_outcome, "clean");
+    EXPECT_GT(b.cache_loaded, 0u);
+    EXPECT_EQ(b.cache_salvaged, 0u);
+    EXPECT_EQ(b.cache_rejected, 0u);
+    // Every lookup the cold run missed is a warm hit now.
+    EXPECT_EQ(b.cache_misses, 0u);
+
+    // Semantic results are bit-identical; only wall-clock figures may move.
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        const report::experiment_row& x = a.results[i].row;
+        const report::experiment_row& y = b.results[i].row;
+        EXPECT_EQ(x.pl_gates, y.pl_gates);
+        EXPECT_EQ(x.ee_gates, y.ee_gates);
+        EXPECT_EQ(x.delay_no_ee, y.delay_no_ee);
+        EXPECT_EQ(x.delay_ee, y.delay_ee);
+        EXPECT_EQ(x.ee_detail.triggers_added, y.ee_detail.triggers_added);
+    }
+}
+
+TEST_F(PersistFile, FleetSurvivesCorruptSnapshotAndRequiresSharedCache) {
+    const std::string snap = path("corrupt.snap");
+    // A snapshot of pure garbage: the fleet must run cold, not fail.
+    atomic_write_text(snap, "this is not a snapshot");
+
+    std::vector<runner::fleet_job> jobs;
+    runner::fleet_job job;
+    job.id = "wl1";
+    job.netlist =
+        wl::generate(wl::scenario_params(wl::scenario::random_dag, 30, 1));
+    jobs.push_back(std::move(job));
+
+    runner::fleet_options opts;
+    opts.experiment.measure.num_vectors = 10;
+    opts.cache_load_path = snap;
+    const runner::fleet_result res = runner::run_fleet(jobs, opts);
+    EXPECT_TRUE(res.all_ok());
+    EXPECT_EQ(res.cache_load_outcome, "cold");
+    EXPECT_EQ(res.cache_loaded, 0u);
+
+    // Cache persistence without a shared cache is a contradiction the
+    // runner rejects up front.
+    runner::fleet_options bad = opts;
+    bad.share_trigger_cache = false;
+    EXPECT_THROW(runner::run_fleet(jobs, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plee::persist

@@ -26,7 +26,21 @@
 //   --max-retries N        retries for transient-classified failures
 //   --fail-fast            abort the fleet on the first job failure
 //   --inject SPEC          arm the deterministic fault injector, e.g.
-//                          'seed=42;ee.search=0.5;sim.fire=1:delay=5'
+//                          'seed=42;ee.search=0.5;sim.fire=1:delay=5'.
+//                          Points: synth.map | ee.search | sim.fire |
+//                          cache.lookup | cache.save | cache.load.  Fates:
+//                          PROB (throw transient), :transient, :permanent,
+//                          :delay=MS, and :torn (cache.save/cache.load only:
+//                          truncate the snapshot I/O at a seeded offset).
+//                          An unknown point name is a usage error (exit 1).
+//
+// Cache persistence (see src/persist/snapshot.hpp and docs/schemas.md):
+//   --cache-load PATH      merge a trigger-cache snapshot into the shared
+//                          cache before fan-out; corrupt/missing snapshots
+//                          degrade to salvage or cold start, never an error
+//   --cache-save PATH      atomically save the shared cache after the join
+//   --cache-verify MODE    oracle re-check of loaded triggers:
+//                          off | sampled | full              (default full)
 //
 // Telemetry (see src/obs/README.md and docs/schemas.md):
 //   --metrics-out PATH     write the process metrics registry as Prometheus
@@ -39,12 +53,23 @@
 //
 // Every circuit runs the full synth -> PL-map -> EE -> simulate pipeline
 // with golden-model verification.  Exit status: 0 = every job ok,
-// 2 = fleet completed but some jobs failed/timed out (partial results),
-// 1 = fatal (bad arguments, fail-fast abort, internal error).
+// 2 = fleet completed but some jobs failed/timed out (partial results) or
+// the run was interrupted, 1 = fatal (bad arguments, fail-fast abort,
+// internal error).
+//
+// SIGINT/SIGTERM: the first signal trips a fleet-wide cancel token —
+// in-flight jobs stop at their next cooperative poll, queued jobs never
+// start — and the partial results plus every requested sink (--json,
+// --metrics-out, --trace-out, --cache-save) are still flushed through the
+// atomic-rename path before exiting 2.  A second signal hard-exits
+// immediately (status 130).
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -53,8 +78,10 @@
 #include "fault/injector.hpp"
 #include "obs/registry.hpp"
 #include "obs/sink.hpp"
+#include "persist/snapshot.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
+#include "rt/cancel.hpp"
 #include "runner/runner.hpp"
 #include "sim/measure.hpp"
 #include "workload/workload.hpp"
@@ -64,23 +91,48 @@ using namespace plee;
 namespace {
 
 void usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
-                 "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
-                 "       [--queue calendar|heap] [--lanes 1|64] [--no-check] "
-                 "[--no-share]\n"
-                 "       [--job-deadline-ms MS] [--max-retries N] [--fail-fast]\n"
-                 "       [--inject SPEC] [--json PATH]\n"
-                 "       [--metrics-out PATH] [--trace-out PATH] "
-                 "[--no-telemetry]\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
+        "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
+        "       [--queue calendar|heap] [--lanes 1|64] [--no-check] "
+        "[--no-share]\n"
+        "       [--job-deadline-ms MS] [--max-retries N] [--fail-fast]\n"
+        "       [--inject SPEC] [--json PATH]\n"
+        "       [--cache-load PATH] [--cache-save PATH] "
+        "[--cache-verify off|sampled|full]\n"
+        "       [--metrics-out PATH] [--trace-out PATH] [--no-telemetry]\n"
+        "\n"
+        "  --inject points: synth.map ee.search sim.fire cache.lookup "
+        "cache.save cache.load\n"
+        "  --inject fates:  PROB | PROB:transient | PROB:permanent |\n"
+        "                   PROB:delay=MS | PROB:torn (cache.save/cache.load "
+        "only)\n",
+        argv0);
 }
 
+/// Fleet-wide interrupt: the first SIGINT/SIGTERM trips the cancel token
+/// (one atomic store — async-signal-safe) and the main path finishes with
+/// partial results + flushed sinks; a second signal hard-exits.
+cancel_token g_interrupt;
+std::atomic<int> g_signal_count{0};
+
+extern "C" void on_signal(int) {
+    if (g_signal_count.fetch_add(1, std::memory_order_relaxed) == 0) {
+        g_interrupt.cancel();
+    } else {
+        ::_exit(130);
+    }
+}
+
+bool interrupted() {
+    return g_signal_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Every sink goes through the atomic temp+fsync+rename path so an
+/// interrupt (or crash) never leaves a half-written artifact.
 void write_text_file(const std::string& path, const std::string& text) {
-    std::ofstream f(path);
-    if (!f) throw std::runtime_error("cannot open " + path);
-    f << text;
-    if (!f) throw std::runtime_error("write failed for " + path);
+    persist::atomic_write_text(path, text);
 }
 
 /// The --trace-out JSONL stream: one "job" record per job, one trailing
@@ -147,6 +199,9 @@ int main(int argc, char** argv) {
     unsigned max_retries = 0;
     bool fail_fast = false;
     std::string inject_spec;
+    std::string cache_load_path;
+    std::string cache_save_path;
+    persist::verify_mode cache_verify = persist::verify_mode::full;
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
         if (std::strcmp(argv[i], "--circuits") == 0) {
@@ -193,6 +248,19 @@ int main(int argc, char** argv) {
             fail_fast = true;
         } else if (std::strcmp(argv[i], "--inject") == 0) {
             if (const char* v = next()) inject_spec = v; else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--cache-load") == 0) {
+            if (const char* v = next()) cache_load_path = v; else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--cache-save") == 0) {
+            if (const char* v = next()) cache_save_path = v; else { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--cache-verify") == 0) {
+            const char* v = next();
+            if (v == nullptr) { usage(argv[0]); return 1; }
+            try {
+                cache_verify = persist::parse_verify_mode(v);
+            } catch (const std::invalid_argument&) {
+                usage(argv[0]);
+                return 1;
+            }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (const char* v = next()) json_path = v; else { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
@@ -207,10 +275,21 @@ int main(int argc, char** argv) {
         }
     }
 
-    try {
-        if (!inject_spec.empty()) {
+    if (!inject_spec.empty()) {
+        try {
             fault::injector::instance().configure(inject_spec);
+        } catch (const std::invalid_argument& e) {
+            // Unknown point names and malformed specs are usage errors, not
+            // silently-inert configuration.
+            std::fprintf(stderr, "plee_fleet: %s\n", e.what());
+            usage(argv[0]);
+            return 1;
         }
+    }
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    try {
         std::vector<runner::fleet_job> jobs;
         const bool synthetic =
             !circuits.empty() &&
@@ -266,6 +345,10 @@ int main(int argc, char** argv) {
         opts.experiment.measure.sim.check_early_value = check_early_value;
         opts.telemetry = telemetry;
         if (seed_given) opts.experiment.measure.seed = seed;
+        opts.cache_load_path = cache_load_path;
+        opts.cache_save_path = cache_save_path;
+        opts.cache_verify = cache_verify;
+        opts.fleet_cancel = &g_interrupt;
         const runner::fleet_result fleet = runner::run_fleet(jobs, opts);
 
         report::text_table t({"Circuit", "Status", "PL Gates", "EE Gates",
@@ -312,6 +395,18 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(fleet.cache_hits),
                     static_cast<unsigned long long>(fleet.cache_misses),
                     fleet.cache_entries);
+        if (!fleet.cache_load_outcome.empty()) {
+            std::printf("cache snapshot load (%s): %llu loaded (%llu from "
+                        "salvage), %llu rejected\n",
+                        fleet.cache_load_outcome.c_str(),
+                        static_cast<unsigned long long>(fleet.cache_loaded),
+                        static_cast<unsigned long long>(fleet.cache_salvaged),
+                        static_cast<unsigned long long>(fleet.cache_rejected));
+        }
+        if (!fleet.cache_save_error.empty()) {
+            std::fprintf(stderr, "plee_fleet: cache save failed: %s\n",
+                         fleet.cache_save_error.c_str());
+        }
 
         if (!fleet.delay_hist_no_ee.empty() && !fleet.delay_hist_ee.empty()) {
             // The paper's comparison as a distribution, not a mean: fleet-wide
@@ -331,7 +426,7 @@ int main(int argc, char** argv) {
         if (!json_path.empty()) {
             report::json root = runner::to_json(fleet);
             root.set("bench", report::json::str("plee_fleet"));
-            root.write_file(json_path);
+            write_text_file(json_path, root.dump());
             std::printf("wrote %s\n", json_path.c_str());
         }
         if (!metrics_path.empty()) {
@@ -343,6 +438,12 @@ int main(int argc, char** argv) {
         if (!trace_path.empty()) {
             write_text_file(trace_path, trace_jsonl(fleet));
             std::printf("wrote %s\n", trace_path.c_str());
+        }
+        if (interrupted()) {
+            std::fprintf(stderr,
+                         "plee_fleet: interrupted — partial results and all "
+                         "sinks flushed\n");
+            return 2;
         }
         return fleet.all_ok() ? 0 : 2;
     } catch (const std::exception& e) {

@@ -27,10 +27,22 @@
 //                      text exposition (see src/obs/README.md)
 //   --trace-out FILE   write a JSONL telemetry stream: the run's stage-span
 //                      breakdown plus a registry snapshot (docs/schemas.md)
+//   --cache-load FILE  merge a trigger-cache snapshot (src/persist/) into
+//                      this run's cache before the EE search; corrupt or
+//                      missing snapshots degrade to salvage/cold, never fail
+//   --cache-save FILE  atomically save the warmed cache afterwards
+//   --cache-verify M   oracle re-check of loaded triggers:
+//                      off | sampled | full (default full)
 //
-// Exit status is non-zero on any verification failure (the tool re-checks
-// liveness/safety and wave-by-wave equivalence with the synchronous model).
+// Exit status: 0 = ok, 1 = verification failure / bad arguments / fatal
+// error, 2 = interrupted (SIGINT/SIGTERM: the first signal cancels the
+// run cooperatively and still flushes --metrics-out/--trace-out/
+// --cache-save through the atomic-rename path; a second signal hard-exits).
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,15 +52,18 @@
 
 #include "bench_circuits/itc99.hpp"
 #include "bool/support.hpp"
+#include "ee/concurrent_cache.hpp"
 #include "ee/ee_transform.hpp"
 #include "netlist/blif.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "persist/snapshot.hpp"
 #include "plogic/pl_mapper.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
+#include "rt/cancel.hpp"
 #include "sim/measure.hpp"
 #include "sim/vcd.hpp"
 
@@ -74,6 +89,9 @@ struct cli_options {
     bool per_trigger_report = false;
     std::string metrics_out;
     std::string trace_out;
+    std::string cache_load;
+    std::string cache_save;
+    persist::verify_mode cache_verify = persist::verify_mode::full;
 };
 
 void usage() {
@@ -83,7 +101,9 @@ void usage() {
                  "[--threads N] [--seed S]\n                 [--queue calendar|heap] "
                  "[--lanes 1|64] [--no-check]\n                 [--dot FILE] "
                  "[--vcd FILE] [--blif-out FILE] [--report]\n"
-                 "                 [--metrics-out FILE] [--trace-out FILE]\n");
+                 "                 [--metrics-out FILE] [--trace-out FILE]\n"
+                 "                 [--cache-load FILE] [--cache-save FILE] "
+                 "[--cache-verify off|sampled|full]\n");
 }
 
 std::optional<cli_options> parse(int argc, char** argv) {
@@ -148,6 +168,18 @@ std::optional<cli_options> parse(int argc, char** argv) {
             if (const char* v = next()) o.metrics_out = v; else return std::nullopt;
         } else if (arg == "--trace-out") {
             if (const char* v = next()) o.trace_out = v; else return std::nullopt;
+        } else if (arg == "--cache-load") {
+            if (const char* v = next()) o.cache_load = v; else return std::nullopt;
+        } else if (arg == "--cache-save") {
+            if (const char* v = next()) o.cache_save = v; else return std::nullopt;
+        } else if (arg == "--cache-verify") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            try {
+                o.cache_verify = persist::parse_verify_mode(v);
+            } catch (const std::invalid_argument&) {
+                return std::nullopt;
+            }
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return std::nullopt;
@@ -157,10 +189,23 @@ std::optional<cli_options> parse(int argc, char** argv) {
     return o;
 }
 
+/// All sinks go through the atomic temp+fsync+rename path, so an interrupt
+/// never leaves a half-written artifact.
 void write_text_file(const std::string& path, const std::string& text) {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-    out << text;
+    persist::atomic_write_text(path, text);
+}
+
+/// First SIGINT/SIGTERM cancels the run cooperatively (one atomic store —
+/// async-signal-safe); a second hard-exits.
+cancel_token g_interrupt;
+std::atomic<int> g_signal_count{0};
+
+extern "C" void on_signal(int) {
+    if (g_signal_count.fetch_add(1, std::memory_order_relaxed) == 0) {
+        g_interrupt.cancel();
+    } else {
+        ::_exit(130);
+    }
 }
 
 }  // namespace
@@ -169,9 +214,11 @@ int main(int argc, char** argv) {
     const std::optional<cli_options> parsed = parse(argc, argv);
     if (!parsed) {
         usage();
-        return 2;
+        return 1;
     }
     const cli_options& o = *parsed;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
 
     // One trace + flight recorder for the whole flow: stage spans mirror the
     // fleet pipeline's, so a plee_flow --trace-out record reads like one
@@ -179,6 +226,43 @@ int main(int argc, char** argv) {
     obs::trace trace;
     obs::flight_recorder recorder;
     const obs::recorder_scope ambient_recorder(&recorder);
+
+    // The run's trigger cache when snapshots are in play.  Without either
+    // cache flag the EE pass keeps its private per-pass caches, reproducing
+    // the standalone counters exactly.
+    ee::concurrent_trigger_cache cache;
+    const bool use_cache = !o.cache_load.empty() || !o.cache_save.empty();
+
+    // Sink flushing is shared between the normal exit and the interrupt
+    // path, so a cancelled run still lands complete, atomically-renamed
+    // artifacts.
+    const auto flush_sinks = [&]() {
+        if (!o.cache_save.empty()) {
+            const obs::scoped_span span(&trace, "cache.save");
+            persist::save_snapshot(o.cache_save, cache.export_image());
+            std::printf("wrote %s (%zu cache entries)\n", o.cache_save.c_str(),
+                        cache.size() + cache.canonicalized_masters());
+        }
+        if (!o.metrics_out.empty()) {
+            write_text_file(o.metrics_out, obs::to_prometheus(
+                                               obs::registry::global().snapshot()));
+            std::printf("wrote %s\n", o.metrics_out.c_str());
+        }
+        if (!o.trace_out.empty()) {
+            report::json flow = report::json::object();
+            flow.set("type", report::json::str("flow"));
+            flow.set("id", report::json::str(o.bench.empty() ? o.blif_in
+                                                             : o.bench));
+            flow.set("spans", obs::spans_to_json(trace.spans()));
+            report::json metrics = report::json::object();
+            metrics.set("type", report::json::str("metrics"));
+            metrics.set("metrics",
+                        obs::metrics_to_json(obs::registry::global().snapshot()));
+            write_text_file(o.trace_out, flow.dump_compact() + "\n" +
+                                             metrics.dump_compact() + "\n");
+            std::printf("wrote %s\n", o.trace_out.c_str());
+        }
+    };
 
     try {
         // --- Front end -------------------------------------------------------
@@ -212,12 +296,30 @@ int main(int argc, char** argv) {
         if (!health.ok()) return 1;
 
         // --- Early Evaluation ---------------------------------------------------
+        if (use_cache && !o.cache_load.empty()) {
+            const obs::scoped_span span(&trace, "cache.load");
+            persist::load_options lo;
+            lo.verify = o.cache_verify;
+            lo.expected_mode = cache.mode();
+            const persist::load_result loaded =
+                persist::load_snapshot(o.cache_load, lo);
+            if (loaded.loaded() > 0) cache.merge_from_snapshot(loaded.image);
+            std::printf("cache snapshot load (%s): %llu loaded, %llu "
+                        "rejected%s%s\n",
+                        persist::to_string(loaded.outcome),
+                        static_cast<unsigned long long>(loaded.loaded()),
+                        static_cast<unsigned long long>(loaded.rejected),
+                        loaded.detail.empty() ? "" : " — ",
+                        loaded.detail.c_str());
+        }
         if (o.apply_ee) {
             ee::ee_options opts;
             opts.search.cost_threshold = o.threshold;
             opts.search.method = o.method;
             opts.num_threads = o.threads;
             opts.recorder = &recorder;
+            opts.cancel = &g_interrupt;
+            if (use_cache) opts.shared_cache = &cache;
             const ee::ee_stats stats = [&] {
                 const obs::scoped_span span(&trace, "ee.search");
                 return ee::apply_early_evaluation(mapped.pl, opts);
@@ -267,6 +369,7 @@ int main(int argc, char** argv) {
         mopts.sim.queue = o.queue;
         mopts.sim.check_early_value = o.check_early_value;
         mopts.sim.recorder = &recorder;
+        mopts.sim.cancel = &g_interrupt;
         mopts.trace = &trace;
 
         const sim::measure_result r = [&] {
@@ -327,27 +430,20 @@ int main(int argc, char** argv) {
                         std::min<std::size_t>(o.vectors, 10));
         }
 
-        // --- Telemetry sinks -------------------------------------------------
-        if (!o.metrics_out.empty()) {
-            write_text_file(o.metrics_out, obs::to_prometheus(
-                                               obs::registry::global().snapshot()));
-            std::printf("wrote %s\n", o.metrics_out.c_str());
-        }
-        if (!o.trace_out.empty()) {
-            report::json flow = report::json::object();
-            flow.set("type", report::json::str("flow"));
-            flow.set("id", report::json::str(o.bench.empty() ? o.blif_in
-                                                             : o.bench));
-            flow.set("spans", obs::spans_to_json(trace.spans()));
-            report::json metrics = report::json::object();
-            metrics.set("type", report::json::str("metrics"));
-            metrics.set("metrics",
-                        obs::metrics_to_json(obs::registry::global().snapshot()));
-            write_text_file(o.trace_out, flow.dump_compact() + "\n" +
-                                             metrics.dump_compact() + "\n");
-            std::printf("wrote %s\n", o.trace_out.c_str());
-        }
+        // --- Sinks (cache snapshot + telemetry) ------------------------------
+        flush_sinks();
         return 0;
+    } catch (const job_timeout& e) {
+        // Interrupt or deadline: partial run, but every requested sink still
+        // lands complete via the atomic-rename path.
+        std::fprintf(stderr, "plee_flow: interrupted: %s\n", e.what());
+        try {
+            flush_sinks();
+        } catch (const std::exception& flush_err) {
+            std::fprintf(stderr, "plee_flow: sink flush failed: %s\n",
+                         flush_err.what());
+        }
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
