@@ -149,6 +149,41 @@ public:
         return run_[run_idx_++];
     }
 
+    /// Snapshot: appends every pending deposit to `out` — the in-drain
+    /// remainder of the current run, the ring chains (walked through the
+    /// occupancy bitmap) and the overflow heap.  Order is unspecified; the
+    /// queue itself is unchanged.  This is the fork-at-split checkpoint
+    /// surface: a caller can capture the full event set mid-drain and later
+    /// rebuild an equivalent queue with restore().
+    void snapshot_pending(std::vector<cal_event>& out) const {
+        out.reserve(out.size() + size_);
+        out.insert(out.end(),
+                   run_.begin() + static_cast<std::ptrdiff_t>(run_idx_),
+                   run_.end());
+        for (std::size_t w = 0; w < occupied_.size(); ++w) {
+            for (std::uint64_t bits = occupied_[w]; bits != 0; bits &= bits - 1) {
+                const std::size_t pos =
+                    (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+                for (std::uint32_t e = buckets_[pos].head; e != k_npos;
+                     e = next_[e]) {
+                    out.push_back(slot_[e]);
+                }
+            }
+        }
+        out.insert(out.end(), overflow_.begin(), overflow_.end());
+    }
+
+    /// Restore: re-arms the queue (same geometry as reset) and reloads a
+    /// snapshot_pending event set.  The frontier restarts at tick 0, so
+    /// mid-stream events land in the overflow heap and migrate into the ring
+    /// as refill_run advances — pop order stays exactly (time, seq), which
+    /// is all the bit-identity contract needs.
+    void restore(double bucket_width, double max_delay, std::size_t num_edges,
+                 const std::vector<cal_event>& events) {
+        reset(bucket_width, max_delay, num_edges);
+        for (const cal_event& d : events) push(d);
+    }
+
 private:
     static constexpr std::uint32_t k_npos = ~std::uint32_t{0};
     /// next_ sentinel for "not in the ring" — next_ doubles as the in-flight

@@ -82,11 +82,20 @@ struct measure_result {
     /// dominates quantization.  Empty when measure_options::telemetry is
     /// false.
     obs::hist_snapshot delay_hist;
-    /// Lane mode: (vectors - engine passes) / (vectors - blocks) — the
-    /// fraction of the possible run merging achieved.  1.0 = every block ran
-    /// fully lockstep (one pass per 64 vectors), 0.0 = every vector needed
-    /// its own pass.  1.0 when lanes == 1 vacuously.
+    /// Lane mode: the fraction of possible run merging achieved, where an
+    /// engine pass is a from-t0 run or a fork resume.  Computed as
+    /// sum(vectors_b - passes_b) / sum(vectors_b - 1) over multi-vector
+    /// blocks only — single-vector (degenerate) blocks can neither merge
+    /// nor split and contribute to neither side.  1.0 is reserved for
+    /// genuinely divergence-free workloads (zero splits, zero forks, one
+    /// pass per block); 0.0 = every vector needed its own pass (also what
+    /// the scalar heap fallback reports for multi-vector blocks).  1.0 when
+    /// lanes == 1 vacuously.
     double lockstep_fraction = 1.0;
+    /// Lane mode: fork_depth_counts[d] = checkpoints created at nesting
+    /// depth d (index 0 unused — a fork's depth is >= 1).  Sized k_lanes + 1
+    /// in lane mode, empty when lanes == 1.
+    std::vector<std::uint64_t> fork_depth_counts;
 
     /// Measurement throughput (0 when the run was too fast to time).
     double vectors_per_s() const {

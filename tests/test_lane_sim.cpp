@@ -4,6 +4,7 @@
 // the lanes=64 measurement path.  The contract under test everywhere: lane L
 // is bit-identical to a scalar/serial run of lane L's vector alone.
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include "ee/ee_transform.hpp"
 #include "netlist/sync_sim.hpp"
 #include "plogic/pl_mapper.hpp"
+#include "sim/errors.hpp"
 #include "sim/measure.hpp"
 #include "sim/pl_sim.hpp"
 #include "sim/stimulus.hpp"
@@ -85,6 +87,7 @@ void expect_lanes_match_serial(const pl::pl_netlist& plnl, std::uint64_t seed,
                 << "lane " << lane;
             EXPECT_DOUBLE_EQ(lr.output_stable[lane], w.output_stable)
                 << "lane " << lane;
+            EXPECT_DOUBLE_EQ(lr.delay(lane), w.delay()) << "lane " << lane;
             ASSERT_EQ(lr.outputs.size(), w.outputs.size());
             for (std::size_t j = 0; j < w.outputs.size(); ++j) {
                 EXPECT_EQ(((lr.outputs[j] >> lane) & 1u) != 0, w.outputs[j])
@@ -205,21 +208,205 @@ TEST(LaneSim, PartialBlockAndMultiBlockCounts) {
     expect_lanes_match_serial(c.pl, /*seed=*/17, /*count=*/100);
 }
 
-TEST(LaneSim, DivergenceSplitsStayBitIdentical) {
-    // A tie-heavy delay model (every component delay equal) maximizes
-    // simultaneous efire/normal arrivals; with EE applied the 64 lanes must
-    // actually exercise the split-and-defer path, not pure lockstep.
+/// Every component delay equal: maximizes simultaneous efire/normal
+/// arrivals, the adversarial tie case for divergence handling.
+sim_options tie_delay_options() {
     sim_options opts;
     opts.delays.d_celem = 1.0;
     opts.delays.d_lut = 1.0;
     opts.delays.d_latch = 1.0;
     opts.delays.d_ee_penalty = 1.0;
     opts.delays.d_source = 1.0;
+    return opts;
+}
+
+TEST(LaneSim, DivergenceSplitsStayBitIdentical) {
+    // Under the default (vector) policy a divergent efire word widens the
+    // emission to per-lane times instead of splitting; with tie delays and
+    // EE applied the 64 lanes must actually exercise that path.
+    sim_options opts = tie_delay_options();
     std::uint64_t splits = 0;
     const built_circuit c =
         build_preset(wl::scenario::datapath_like, 120, 11, true);
     expect_lanes_match_serial(c.pl, /*seed=*/23, /*count=*/64, opts, &splits);
     EXPECT_GT(splits, 0u);
+}
+
+TEST(LaneSim, VectorPolicyNeverForksOrReplays) {
+    // The vector default runs exactly one pass per block: divergence is
+    // absorbed by the per-lane time slab, never by forking or replaying.
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 120, 11, true);
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(64, c.pl.sources().size(), 23);
+    pl_simulator simulator(c.pl, tie_delay_options());
+    simulator.run_lanes(blocks.front());
+    const sim_run_stats& s = simulator.stats();
+    EXPECT_GT(s.lane_splits, 0u);  // divergence genuinely happened...
+    EXPECT_EQ(s.lane_runs, 1u);    // ...yet one pass served all 64 lanes
+    EXPECT_EQ(s.lane_forks, 0u);
+    EXPECT_EQ(s.lane_replays, 0u);
+    EXPECT_EQ(s.lane_fork_bytes_peak, 0u);
+}
+
+// --- Satellite regressions: lane accounting ------------------------------
+
+TEST(LaneSim, DelaySubtractsRecordedReleaseTime) {
+    // delay(lane) must mirror wave_record::delay() — stable output minus
+    // the recorded release — not assume a zero release epoch.
+    lane_block_result r;
+    r.num_vectors = 2;
+    r.output_stable[0] = 7.5;
+    r.release[0] = 2.5;
+    r.output_stable[1] = 4.0;
+    r.release[1] = 0.0;
+    EXPECT_DOUBLE_EQ(r.delay(0), 5.0);
+    EXPECT_DOUBLE_EQ(r.delay(1), 4.0);
+}
+
+TEST(LaneSim, EeCountersAreOrderIndependentOnSequentialCircuits) {
+    // Regression: EE hit/miss counters used to depend on how far the
+    // post-completion drain raced ahead of the last sink record, so a lane
+    // pass could not reproduce summed serial counters on feedback-heavy
+    // circuits.  With firings capped at the wave horizon, every engine
+    // counts each EE master exactly once per wave.
+    const built_circuit c = build_bench("b04", true);
+    std::size_t masters = 0;
+    for (pl::gate_id g = 0; g < c.pl.num_gates(); ++g) {
+        if (c.pl.gate(g).efire_in != pl::k_invalid_edge) ++masters;
+    }
+    ASSERT_GT(masters, 0u);
+    const std::size_t n = 5;
+    const std::vector<std::vector<bool>> vectors =
+        random_vectors(n, c.pl.sources().size(), 7);
+    pl_simulator cal(c.pl);
+    cal.run(vectors);
+    EXPECT_EQ(cal.stats().ee_hits + cal.stats().ee_misses, masters * n);
+    sim_options heap_opts;
+    heap_opts.queue = queue_kind::binary_heap;
+    pl_simulator heap(c.pl, heap_opts);
+    heap.run(vectors);
+    EXPECT_EQ(heap.stats().ee_hits, cal.stats().ee_hits);
+    EXPECT_EQ(heap.stats().ee_misses, cal.stats().ee_misses);
+    EXPECT_EQ(heap.stats().ee_wins, cal.stats().ee_wins);
+}
+
+TEST(LaneSim, HeapFallbackCommitsStatsBeforeBudgetThrow) {
+    // Regression: the scalar heap fallback used to lose the completed
+    // per-vector runs' stats when a later vector blew the event budget —
+    // the totals must be committed before the exception propagates.
+    const built_circuit c =
+        build_preset(wl::scenario::control_fsm, 60, 13, true);
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(40, c.pl.sources().size(), 77);
+
+    // Probe one lane's serial event count.  With firings capped at the wave
+    // horizon every single-vector run of a circuit pops the same number of
+    // events, so the per-run budget trips at a known point.
+    sim_options probe_opts;
+    probe_opts.queue = queue_kind::binary_heap;
+    pl_simulator probe(c.pl, probe_opts);
+    std::vector<std::vector<bool>> one(1);
+    blocks.front().extract(0, one.front());
+    probe.run(one);
+    const std::uint64_t per_run = probe.stats().events;
+    ASSERT_GT(per_run, 1u);
+
+    sim_options tight = probe_opts;
+    tight.max_events = per_run - 1;
+    pl_simulator simulator(c.pl, tight);
+    EXPECT_THROW(simulator.run_lanes(blocks.front()), budget_exhausted);
+    // The block totals and the failing run's partial work must both be
+    // visible after the throw — the old fallback lost them, leaving the
+    // flight recorder's "events before death" column reading zero.
+    const sim_run_stats& s = simulator.stats();
+    EXPECT_EQ(s.lane_blocks, 1u);
+    EXPECT_EQ(s.lane_vectors, blocks.front().num_vectors);
+    EXPECT_EQ(s.lane_runs, 0u);  // the throwing run never completed
+    EXPECT_EQ(s.events, per_run);  // budget + the offending increment
+}
+
+// --- Split-storm suite: the scalar fork/replay machinery -----------------
+
+TEST(LaneSim, SplitStormForkStaysBitIdentical) {
+    // Explicit fork policy under adversarial tie delays: every divergent
+    // word checkpoints the minority and resumes it mid-stream, and the
+    // result must still match 64 serial runs bit for bit.
+    sim_options opts = tie_delay_options();
+    opts.lane_policy = lane_split_policy::fork;
+    opts.lane_group = false;
+    std::uint64_t splits = 0;
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 150, 29, true);
+    expect_lanes_match_serial(c.pl, /*seed=*/41, /*count=*/64, opts, &splits);
+    EXPECT_GT(splits, 0u);
+}
+
+TEST(LaneSim, SplitStormForkAccounting) {
+    // Fork must beat replay on from-t0 runs, stay within its byte budget,
+    // and agree with the vector default on every per-lane result.
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 150, 29, true);
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(64, c.pl.sources().size(), 41);
+
+    sim_options fork_opts = tie_delay_options();
+    fork_opts.lane_policy = lane_split_policy::fork;
+    fork_opts.lane_group = false;
+    sim_options replay_opts = tie_delay_options();
+    replay_opts.lane_policy = lane_split_policy::replay;
+    replay_opts.lane_group = false;
+    sim_options vec_opts = tie_delay_options();
+
+    pl_simulator fork_sim(c.pl, fork_opts);
+    pl_simulator replay_sim(c.pl, replay_opts);
+    pl_simulator vec_sim(c.pl, vec_opts);
+    const lane_block_result fr = fork_sim.run_lanes(blocks.front());
+    const lane_block_result rr = replay_sim.run_lanes(blocks.front());
+    const lane_block_result vr = vec_sim.run_lanes(blocks.front());
+    const sim_run_stats& fs = fork_sim.stats();
+    const sim_run_stats& rs = replay_sim.stats();
+
+    EXPECT_GT(fs.lane_splits, 0u);
+    EXPECT_GT(fs.lane_forks, 0u);
+    EXPECT_GT(fs.lane_fork_depth_max, 0u);
+    EXPECT_LT(fs.lane_runs, rs.lane_runs);  // resumes replace from-t0 runs
+    EXPECT_LE(fs.lane_fork_bytes_peak, fork_opts.lane_fork_budget_bytes);
+
+    EXPECT_EQ(fr.outputs, rr.outputs);
+    EXPECT_EQ(fr.outputs, vr.outputs);
+    for (std::size_t lane = 0; lane < fr.num_vectors; ++lane) {
+        EXPECT_DOUBLE_EQ(fr.output_stable[lane], rr.output_stable[lane]);
+        EXPECT_DOUBLE_EQ(fr.output_stable[lane], vr.output_stable[lane]);
+        EXPECT_DOUBLE_EQ(fr.delay(lane), vr.delay(lane));
+    }
+    EXPECT_EQ(fs.ee_hits, rs.ee_hits);
+    EXPECT_EQ(fs.ee_misses, rs.ee_misses);
+    EXPECT_EQ(fs.ee_wins, rs.ee_wins);
+    EXPECT_EQ(fs.ee_hits, vec_sim.stats().ee_hits);
+    EXPECT_EQ(fs.ee_misses, vec_sim.stats().ee_misses);
+    EXPECT_EQ(fs.ee_wins, vec_sim.stats().ee_wins);
+}
+
+TEST(LaneSim, ForkBudgetOverflowDegradesToReplay) {
+    // A fork budget too small for any checkpoint forces every minority
+    // branch back to a from-t0 replay — slower, but still bit-identical.
+    sim_options opts = tie_delay_options();
+    opts.lane_policy = lane_split_policy::fork;
+    opts.lane_group = false;
+    opts.lane_fork_budget_bytes = 1;
+    std::uint64_t splits = 0;
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 120, 11, true);
+    expect_lanes_match_serial(c.pl, /*seed=*/23, /*count=*/64, opts, &splits);
+    EXPECT_GT(splits, 0u);
+
+    const std::vector<stimulus_block> blocks =
+        make_stimulus(64, c.pl.sources().size(), 23);
+    pl_simulator simulator(c.pl, opts);
+    simulator.run_lanes(blocks.front());
+    EXPECT_GT(simulator.stats().lane_replays, 0u);
+    EXPECT_EQ(simulator.stats().lane_forks, 0u);
 }
 
 TEST(LaneSim, PureLockstepWithoutEarlyEvaluation) {
@@ -305,6 +492,58 @@ TEST(LaneMeasure, MatchesSerialPerVectorReference) {
         const std::vector<wave_record> waves = ref.run({vectors[v]});
         EXPECT_DOUBLE_EQ(r.delays[v], waves.front().delay()) << "vector " << v;
     }
+}
+
+TEST(LaneMeasure, LockstepFractionCountsForkPasses) {
+    // With the fork policy under tie delays the passes genuinely split, so
+    // lockstep must land strictly below 1.0, and the per-depth checkpoint
+    // histogram must account for every fork the engine reported.
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 120, 11, true);
+    measure_options mo;
+    mo.num_vectors = 128;
+    mo.seed = 23;
+    mo.lanes = k_lanes;
+    mo.sim = tie_delay_options();
+    mo.sim.lane_policy = lane_split_policy::fork;
+    mo.sim.lane_group = false;
+    const measure_result r = measure_average_delay(c.pl, &c.sync, mo);
+    EXPECT_GT(r.stats.lane_splits, 0u);
+    EXPECT_GE(r.lockstep_fraction, 0.0);
+    EXPECT_LT(r.lockstep_fraction, 1.0);
+    std::uint64_t depth_sum = 0;
+    for (const std::uint64_t n : r.fork_depth_counts) depth_sum += n;
+    EXPECT_EQ(depth_sum, r.stats.lane_forks);
+}
+
+TEST(LaneMeasure, SingleVectorBlocksDoNotFakeLockstep) {
+    // Regression: a trailing 1-vector block can neither merge nor split, so
+    // it must contribute to neither side of the lockstep ratio — the old
+    // per-block vectors==runs shortcut let degenerate blocks drag a
+    // splitting workload toward a fake "fully lockstep" reading.
+    const built_circuit c =
+        build_preset(wl::scenario::datapath_like, 120, 11, true);
+    measure_options mo;
+    mo.seed = 23;
+    mo.lanes = k_lanes;
+    mo.sim = tie_delay_options();
+    mo.sim.lane_policy = lane_split_policy::fork;
+    mo.sim.lane_group = false;
+    mo.num_vectors = 64;
+    const measure_result full = measure_average_delay(c.pl, &c.sync, mo);
+    ASSERT_GT(full.stats.lane_splits, 0u);
+    ASSERT_LT(full.lockstep_fraction, 1.0);
+    mo.num_vectors = 65;  // same full block plus a degenerate 1-vector block
+    const measure_result padded = measure_average_delay(c.pl, &c.sync, mo);
+    EXPECT_DOUBLE_EQ(padded.lockstep_fraction, full.lockstep_fraction);
+
+    // A genuinely divergence-free workload still reads exactly 1.0.
+    measure_options lone;
+    lone.num_vectors = 1;
+    lone.seed = 23;
+    lone.lanes = k_lanes;
+    const measure_result single = measure_average_delay(c.pl, &c.sync, lone);
+    EXPECT_DOUBLE_EQ(single.lockstep_fraction, 1.0);
 }
 
 TEST(LaneMeasure, RejectsUnsupportedLaneCounts) {

@@ -16,6 +16,9 @@
 //   --vectors V    random vectors per measurement             (default 20)
 //   --queue Q      simulator event queue: calendar | heap     (default calendar)
 //   --lanes L      stimulus lanes per engine pass: 1 | 64     (default 1)
+//   --lane-policy P lane divergence handling: vector|fork|replay (default vector)
+//   --delays D     delay model: default | tie (all components 1.0 — the
+//                  split-storm stressor: every EE race is a tie)
 //   --no-check     skip the per-firing EE invariant check in the simulator
 //   --no-share     per-circuit private trigger caches instead of the
 //                  fleet-shared concurrent cache
@@ -95,8 +98,9 @@ void usage(const char* argv0) {
         stderr,
         "usage: %s [--circuits N|itc99|bXX,bYY] [--scenario S|mixed]\n"
         "       [--gates G] [--seed S] [--threads N] [--vectors V]\n"
-        "       [--queue calendar|heap] [--lanes 1|64] [--no-check] "
-        "[--no-share]\n"
+        "       [--queue calendar|heap] [--lanes 1|64] "
+        "[--lane-policy vector|fork|replay]\n"
+        "       [--delays default|tie] [--no-check] [--no-share]\n"
         "       [--job-deadline-ms MS] [--max-retries N] [--fail-fast]\n"
         "       [--inject SPEC] [--json PATH]\n"
         "       [--cache-load PATH] [--cache-save PATH] "
@@ -189,6 +193,8 @@ int main(int argc, char** argv) {
     std::size_t vectors = 20;
     bool share = true;
     sim::queue_kind queue = sim::sim_options{}.queue;
+    sim::lane_split_policy lane_policy = sim::sim_options{}.lane_policy;
+    bool tie_delays = false;
     std::size_t lanes = 1;
     bool check_early_value = true;
     std::string json_path;
@@ -234,6 +240,20 @@ int main(int argc, char** argv) {
             if (v == nullptr) { usage(argv[0]); return 1; }
             lanes = std::strtoull(v, nullptr, 10);
             if (lanes != 1 && lanes != sim::k_lanes) { usage(argv[0]); return 1; }
+        } else if (std::strcmp(argv[i], "--lane-policy") == 0) {
+            const char* v = next();
+            if (v == nullptr) { usage(argv[0]); return 1; }
+            try {
+                lane_policy = sim::lane_split_policy_from_string(v);
+            } catch (const std::invalid_argument&) {
+                usage(argv[0]);
+                return 1;
+            }
+        } else if (std::strcmp(argv[i], "--delays") == 0) {
+            const char* v = next();
+            if (v == nullptr) { usage(argv[0]); return 1; }
+            if (std::strcmp(v, "tie") == 0) tie_delays = true;
+            else if (std::strcmp(v, "default") != 0) { usage(argv[0]); return 1; }
         } else if (std::strcmp(argv[i], "--no-check") == 0) {
             check_early_value = false;
         } else if (std::strcmp(argv[i], "--no-share") == 0) {
@@ -342,6 +362,12 @@ int main(int argc, char** argv) {
         opts.experiment.measure.num_vectors = vectors;
         opts.experiment.measure.lanes = lanes;
         opts.experiment.measure.sim.queue = queue;
+        opts.experiment.measure.sim.lane_policy = lane_policy;
+        if (tie_delays) {
+            // Every delay component equal: all EE races tie, so mixed efire
+            // words (and thus splits) are as frequent as the stimulus allows.
+            opts.experiment.measure.sim.delays = {1.0, 1.0, 1.0, 1.0, 1.0};
+        }
         opts.experiment.measure.sim.check_early_value = check_early_value;
         opts.telemetry = telemetry;
         if (seed_given) opts.experiment.measure.seed = seed;

@@ -18,6 +18,9 @@
 //   --lanes L          stimulus lanes per engine pass: 1 | 64
 //                      (default 1 = the paper's sequential protocol; 64 =
 //                      independent vectors, lane-parallel; see sim/README.md)
+//   --lane-policy P    lane divergence handling: vector | fork | replay (default vector)
+//   --delays D         delay model: default | tie (all components 1.0, the
+//                      split-storm stressor)
 //   --no-check         skip the per-firing EE invariant check
 //   --dot FILE         write the PL netlist (post-EE) as Graphviz
 //   --vcd FILE         write a token waveform of the measured run
@@ -81,6 +84,8 @@ struct cli_options {
     unsigned threads = 0;  // 0 = hardware_concurrency
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
     sim::queue_kind queue = sim::sim_options{}.queue;
+    sim::lane_split_policy lane_policy = sim::sim_options{}.lane_policy;
+    bool tie_delays = false;
     std::size_t lanes = 1;
     bool check_early_value = true;
     std::string dot_out;
@@ -99,7 +104,8 @@ void usage() {
                  "usage: plee_flow (--bench bXX | --blif FILE) [--vectors N] "
                  "[--threshold X]\n                 [--method exact|cube] [--no-ee] "
                  "[--threads N] [--seed S]\n                 [--queue calendar|heap] "
-                 "[--lanes 1|64] [--no-check]\n                 [--dot FILE] "
+                 "[--lanes 1|64] [--lane-policy vector|fork|replay]\n"
+                 "                 [--delays default|tie] [--no-check] [--dot FILE] "
                  "[--vcd FILE] [--blif-out FILE] [--report]\n"
                  "                 [--metrics-out FILE] [--trace-out FILE]\n"
                  "                 [--cache-load FILE] [--cache-save FILE] "
@@ -154,6 +160,19 @@ std::optional<cli_options> parse(int argc, char** argv) {
             if (v == nullptr) return std::nullopt;
             o.lanes = std::strtoull(v, nullptr, 10);
             if (o.lanes != 1 && o.lanes != sim::k_lanes) return std::nullopt;
+        } else if (arg == "--lane-policy") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            try {
+                o.lane_policy = sim::lane_split_policy_from_string(v);
+            } catch (const std::invalid_argument&) {
+                return std::nullopt;
+            }
+        } else if (arg == "--delays") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            if (std::string(v) == "tie") o.tie_delays = true;
+            else if (std::string(v) != "default") return std::nullopt;
         } else if (arg == "--no-check") {
             o.check_early_value = false;
         } else if (arg == "--dot") {
@@ -367,6 +386,12 @@ int main(int argc, char** argv) {
         // its own scalar tracer, so the measured run stays trace-free.
         mopts.sim.collect_trace = !o.vcd_out.empty() && o.lanes == 1;
         mopts.sim.queue = o.queue;
+        mopts.sim.lane_policy = o.lane_policy;
+        if (o.tie_delays) {
+            // Every delay component equal: all EE races tie, maximizing
+            // mixed efire words (and thus lane splits).
+            mopts.sim.delays = {1.0, 1.0, 1.0, 1.0, 1.0};
+        }
         mopts.sim.check_early_value = o.check_early_value;
         mopts.sim.recorder = &recorder;
         mopts.sim.cancel = &g_interrupt;
@@ -389,12 +414,19 @@ int main(int argc, char** argv) {
                         : 0.0,
                     r.vectors_per_s());
         if (o.lanes > 1) {
-            std::printf("lane engine: %llu passes over %llu blocks "
-                        "(%llu splits), lockstep fraction %.3f\n",
+            std::printf("lane engine (%s policy): %llu runs + %llu forks over "
+                        "%llu blocks (%llu groups, %llu splits, %llu replays), "
+                        "lockstep fraction %.3f, fork peak %llu B\n",
+                        sim::to_string(o.lane_policy),
                         static_cast<unsigned long long>(r.stats.lane_runs),
+                        static_cast<unsigned long long>(r.stats.lane_forks),
                         static_cast<unsigned long long>(r.stats.lane_blocks),
+                        static_cast<unsigned long long>(r.stats.lane_groups),
                         static_cast<unsigned long long>(r.stats.lane_splits),
-                        r.lockstep_fraction);
+                        static_cast<unsigned long long>(r.stats.lane_replays),
+                        r.lockstep_fraction,
+                        static_cast<unsigned long long>(
+                            r.stats.lane_fork_bytes_peak));
         }
         if (r.stats.ee_hits + r.stats.ee_misses > 0) {
             std::printf("EE firings: %llu hits / %llu misses (%llu strictly "
